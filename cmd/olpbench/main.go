@@ -1,0 +1,475 @@
+// Command olpbench regenerates every experiment in DESIGN.md §6 and
+// EXPERIMENTS.md: the paper's figures and worked examples as
+// expected-vs-computed correctness rows, and the engine-evaluation sweeps
+// B1–B6 as timing tables.
+//
+// Usage:
+//
+//	olpbench [-exp all|figures|B1..B8] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	ordlog "repro"
+	"repro/internal/classical"
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/proof"
+	"repro/internal/stable"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+var quick = flag.Bool("quick", false, "smaller sweeps")
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B8")
+	flag.Parse()
+	run := func(id string, f func()) {
+		if *exp == "all" || strings.EqualFold(*exp, id) {
+			f()
+		}
+	}
+	run("figures", figures)
+	run("B1", b1)
+	run("B2", b2)
+	run("B3", b3)
+	run("B4", b4)
+	run("B5", b5)
+	run("B6", b6)
+	run("B7", b7)
+	run("B8", b8)
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// timeIt reports the best of three runs.
+func timeIt(f func()) time.Duration {
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olpbench:", err)
+		os.Exit(1)
+	}
+	return v
+}
+
+// ---------- figures ----------
+
+type figureCase struct {
+	id     string
+	what   string
+	expect string
+	got    func() string
+}
+
+func leastOf(src, comp string) string {
+	eng := must(ordlog.NewEngine(must(ordlog.ParseProgram(src)), ordlog.Config{}))
+	return must(eng.LeastModel(comp)).String()
+}
+
+func stableOf(src, comp string) string {
+	eng := must(ordlog.NewEngine(must(ordlog.ParseProgram(src)), ordlog.Config{}))
+	ms := must(eng.StableModels(comp, ordlog.EnumOptions{}))
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+func figures() {
+	header("Figures and worked examples: paper-stated vs computed")
+	const fig1 = `
+module c2 { bird(penguin). bird(pigeon). fly(X) :- bird(X). -ground_animal(X) :- bird(X). }
+module c1 extends c2 { ground_animal(penguin). -fly(X) :- ground_animal(X). }
+`
+	const fig2 = `
+module c3 { rich(mimmo). -poor(X) :- rich(X). }
+module c2 { poor(mimmo). -rich(X) :- poor(X). }
+module c1 extends c2, c3 { free_ticket(X) :- poor(X). }
+`
+	const fig3 = `
+module expert2 { take_loan :- inflation(X), X > 11. }
+module expert4 { -take_loan :- loan_rate(X), X > 14. }
+module expert3 extends expert4 { take_loan :- inflation(X), loan_rate(Y), X > Y + 2. }
+module myself extends expert2, expert3 { %s }
+`
+	const ex5 = `
+module c2 { a. b. c. }
+module c1 extends c2 { -a :- b, c. -b :- a. -b :- -b. }
+`
+	cases := []figureCase{
+		{"F1", "Fig. 1 least model in C1 (penguin does not fly)",
+			"{bird(penguin), bird(pigeon), -fly(penguin), fly(pigeon), ground_animal(penguin), -ground_animal(pigeon)}",
+			func() string { return leastOf(fig1, "c1") }},
+		{"F2", "Fig. 2 least model in C1 (mimmo defeated, partial)",
+			"{}",
+			func() string { return leastOf(fig2, "c1") }},
+		{"F3a", "Fig. 3 loan, no facts (no inference)",
+			"{}",
+			func() string { return leastOf(fmt.Sprintf(fig3, ""), "myself") }},
+		{"F3b", "Fig. 3 loan, inflation(12) (expert2 fires)",
+			"{inflation(12), take_loan}",
+			func() string { return leastOf(fmt.Sprintf(fig3, "inflation(12)."), "myself") }},
+		{"F3c", "Fig. 3 loan, inflation(12), loan_rate(16) (defeated)",
+			"{inflation(12), loan_rate(16)}",
+			func() string { return leastOf(fmt.Sprintf(fig3, "inflation(12). loan_rate(16)."), "myself") }},
+		{"F3d", "Fig. 3 loan, inflation(19), loan_rate(16) (expert3 overrules expert4)",
+			"{inflation(19), loan_rate(16), take_loan}",
+			func() string { return leastOf(fmt.Sprintf(fig3, "inflation(19). loan_rate(16)."), "myself") }},
+		{"E5", "Ex. 5 stable models in C1",
+			"{-a, b, c} {a, -b, c}",
+			func() string { return stableOf(ex5, "c1") }},
+		{"E4", "Ex. 4 assumption-free model with CWA component",
+			"{-a, -b}",
+			func() string {
+				return stableOf(`module c2 { -a. -b. } module c1 extends c2 { a :- b. }`, "c1")
+			}},
+		{"E9", "Ex. 9 colors, literal program ('select one non-ugly color')",
+			"colored: [green] | [red]",
+			func() string { return coloredOf(colorsLiteral) }},
+		{"E9'", "Ex. 9 colors, choice encoding of the stated intent",
+			"colored: [green] | [red]",
+			func() string { return coloredOf(colorsChoice) }},
+	}
+	w := tw()
+	fmt.Fprintln(w, "id\tartifact\tstatus")
+	for _, c := range cases {
+		got := c.got()
+		status := "OK (matches paper)"
+		if got != c.expect {
+			status = fmt.Sprintf("DEVIATION (documented in EXPERIMENTS.md): got %s, paper suggests %s", got, c.expect)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\n", c.id, c.what, status)
+	}
+	w.Flush()
+}
+
+const colorsLiteral = `
+colored(X) :- color(X), -colored(Y), X != Y.
+-colored(X) :- ugly_color(X).
+color(red). color(green). color(brown). ugly_color(brown).
+`
+
+const colorsChoice = `
+colored(X) :- color(X), -other_colored(X).
+other_colored(X) :- color(X), colored(Y), X != Y.
+-colored(X) :- ugly_color(X).
+color(red). color(green). color(brown). ugly_color(brown).
+`
+
+// coloredOf evaluates a negative colors program under 3V stable semantics
+// and reports the colored/1 answers per stable model.
+func coloredOf(src string) string {
+	parsed := must(ordlog.ParseProgram(src))
+	tv := must(ordlog.ThreeV(parsed.Components[0].Rules))
+	eng := must(ordlog.NewEngine(tv, ordlog.Config{}))
+	ms := must(eng.StableModels(transform.ExceptionsName, ordlog.EnumOptions{}))
+	q := must(ordlog.Parse(`?- colored(X).`))
+	var parts []string
+	for _, m := range ms {
+		var picked []string
+		for _, b := range m.Query(q.Queries[0]) {
+			picked = append(picked, b["X"].String())
+		}
+		sort.Strings(picked)
+		parts = append(parts, fmt.Sprintf("%v", picked))
+	}
+	sort.Strings(parts)
+	return "colored: " + strings.Join(parts, " | ")
+}
+
+// ---------- B1 ----------
+
+func ovViewOf(rules []*ordlog.Rule) (*ground.Program, *eval.View) {
+	ov := must(transform.OV("c", rules))
+	g := must(ground.Ground(ov, ground.DefaultOptions()))
+	v := must(eval.NewViewByName(g, "c"))
+	return g, v
+}
+
+func b1() {
+	header("B1: least-model fixpoint, semi-naive vs naive (OV(ancestor chain))")
+	sizes := []int{8, 16, 32, 64}
+	if *quick {
+		sizes = []int{8, 16, 32}
+	}
+	w := tw()
+	fmt.Fprintln(w, "n\tground rules\tatoms\tsemi-naive\tnaive\tnaive/semi")
+	for _, n := range sizes {
+		g, v := ovViewOf(workload.AncestorChain(n))
+		semi := timeIt(func() { must(v.LeastModel()) })
+		naive := timeIt(func() { must(v.LeastModelNaive()) })
+		fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%v\t%.1fx\n",
+			n, len(g.Rules), g.Tab.Len(), semi, naive, float64(naive)/float64(semi))
+	}
+	w.Flush()
+}
+
+// ---------- B2 ----------
+
+func b2() {
+	header("B2: ordered OV vs classical Datalog baselines (ancestor chain, end to end)")
+	sizes := []int{8, 16, 32, 64}
+	if *quick {
+		sizes = []int{8, 16, 32}
+	}
+	w := tw()
+	fmt.Fprintln(w, "n\tordered(ground+lfp)\tstratified\twell-founded\tordered/stratified")
+	for _, n := range sizes {
+		rules := workload.AncestorChain(n)
+		ov := must(transform.OV("c", rules))
+		ordered := timeIt(func() {
+			g := must(ground.Ground(ov, ground.DefaultOptions()))
+			v := must(eval.NewViewByName(g, "c"))
+			must(v.LeastModel())
+		})
+		strat := must(classical.Stratify(rules))
+		stratTime := timeIt(func() {
+			p := must(classical.GroundRules(rules, classical.Options{}))
+			p.StratifiedModel(strat)
+		})
+		wfTime := timeIt(func() {
+			p := must(classical.GroundRules(rules, classical.Options{}))
+			p.WellFounded()
+		})
+		fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%.1fx\n",
+			n, ordered, stratTime, wfTime, float64(ordered)/float64(stratTime))
+	}
+	w.Flush()
+	fmt.Println("note: the overhead is the price of materialising the explicit CWA component")
+	fmt.Println("      (ground |OV| grows with the negative closure; Datalog keeps the CWA implicit)")
+}
+
+// ---------- B3 ----------
+
+func b3() {
+	header("B3: grounding, relevance-based (smart) vs exhaustive (full), mixed-domain EDB")
+	cfgs := [][2]int{{8, 8}, {8, 24}, {16, 16}, {16, 48}}
+	if *quick {
+		cfgs = [][2]int{{8, 8}, {8, 24}}
+	}
+	w := tw()
+	fmt.Fprintln(w, "chain n\tunrelated m\tsmart rules\tfull rules\tsmart\tfull\tfull/smart")
+	for _, nm := range cfgs {
+		rules := workload.AncestorChain(nm[0])
+		for j := 0; j < nm[1]; j++ {
+			rules = append(rules, must(ordlog.ParseRule(fmt.Sprintf("item(d%d).", j))))
+		}
+		ov := must(transform.OV("c", rules))
+		var smartRules, fullRules int
+		smart := timeIt(func() {
+			g := must(ground.Ground(ov, ground.DefaultOptions()))
+			smartRules = len(g.Rules)
+		})
+		opts := ground.DefaultOptions()
+		opts.Mode = ground.ModeFull
+		full := timeIt(func() {
+			g := must(ground.Ground(ov, opts))
+			fullRules = len(g.Rules)
+		})
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%v\t%.1fx\n",
+			nm[0], nm[1], smartRules, fullRules, smart, full, float64(full)/float64(smart))
+	}
+	w.Flush()
+}
+
+// ---------- B4 ----------
+
+func b4() {
+	header("B4: stable-model enumeration, ordered vs classical GL (win-move cycles)")
+	sizes := []int{3, 4, 5, 6, 8, 10, 12}
+	if *quick {
+		sizes = []int{3, 4, 5, 6}
+	}
+	w := tw()
+	fmt.Fprintln(w, "cycle n\t#stable(ordered)\t#stable(GL total)\tordered\tclassical GL")
+	for _, n := range sizes {
+		rules := workload.WinMove(workload.CycleEdges(n))
+		_, v := ovViewOf(rules)
+		var nOrdered int
+		ordered := timeIt(func() {
+			ms := must(stable.StableModels(v, stable.Options{}))
+			nOrdered = len(ms)
+		})
+		p := must(classical.GroundRules(rules, classical.Options{}))
+		var nGL int
+		gl := timeIt(func() {
+			ms := must(p.StableModelsTotal(classical.StableOptions{}))
+			nGL = len(ms)
+		})
+		fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%v\n", n, nOrdered, nGL, ordered, gl)
+	}
+	w.Flush()
+	fmt.Println("note: even cycles have 2 total stable models, odd cycles none (only the")
+	fmt.Println("      partial ordered stable model), matching stable-model folklore")
+}
+
+// ---------- B5 ----------
+
+func b5() {
+	header("B5: well-founded vs ordered least model (win-move chains, agreement + time)")
+	sizes := []int{16, 32, 64, 128}
+	if *quick {
+		sizes = []int{16, 32, 64}
+	}
+	w := tw()
+	fmt.Fprintln(w, "chain n\tordered lfp(V)\twell-founded\tagree on win/1")
+	for _, n := range sizes {
+		rules := workload.WinMove(workload.ChainEdges(n))
+		_, v := ovViewOf(rules)
+		var least fmt.Stringer
+		ordered := timeIt(func() { least = must(v.LeastModel()) })
+		p := must(classical.GroundRules(rules, classical.Options{}))
+		var wf fmt.Stringer
+		wfTime := timeIt(func() { wf = p.WellFounded() })
+		// Agreement: every win/1 literal decided by WFS is decided the
+		// same way by the ordered least model, and vice versa.
+		agree := winAgreement(v, p, n)
+		fmt.Fprintf(w, "%d\t%v\t%v\t%v\n", n, ordered, wfTime, agree)
+		_ = least
+		_ = wf
+	}
+	w.Flush()
+}
+
+func winAgreement(v *eval.View, p *classical.Program, n int) bool {
+	least := must(v.LeastModel())
+	wf := p.WellFounded()
+	for i := 0; i < n; i++ {
+		lit := must(ordlog.ParseLiteral(fmt.Sprintf("win(c%d)", i)))
+		var ov, cl string
+		if id, ok := v.G.Tab.Lookup(lit.Atom); ok {
+			ov = least.Value(id).String()
+		} else {
+			ov = "U"
+		}
+		if id, ok := p.Tab.Lookup(lit.Atom); ok {
+			cl = wf.Value(id).String()
+		} else {
+			cl = "F" // not even relevant: false under CWA
+		}
+		if ov == "F" && cl == "F" || ov == cl {
+			continue
+		}
+		// The ordered relevant base may omit atoms that WFS (relevance
+		// grounding) also omits; treat both omissions as false.
+		return false
+	}
+	return true
+}
+
+// ---------- B7 (ablations) ----------
+
+func b7() {
+	header("B7: ablations — what each design choice buys")
+	fmt.Println("B7a: EDB/CWA competitor simplification (grounding OV(ancestor chain))")
+	w := tw()
+	fmt.Fprintln(w, "n\ton\toff\toff/on")
+	sizes := []int{8, 16, 32}
+	if *quick {
+		sizes = []int{8, 16}
+	}
+	for _, n := range sizes {
+		ov := must(transform.OV("c", workload.AncestorChain(n)))
+		on := timeIt(func() { must(ground.Ground(ov, ground.DefaultOptions())) })
+		offOpts := ground.DefaultOptions()
+		offOpts.NoEDBSimplify = true
+		off := timeIt(func() { must(ground.Ground(ov, offOpts)) })
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.1fx\n", n, on, off, float64(off)/float64(on))
+	}
+	w.Flush()
+
+	fmt.Println("B7b: doomed-branch prune (stable enumeration, OV(win-move cycle))")
+	w = tw()
+	fmt.Fprintln(w, "cycle n\ton\toff\toff/on")
+	cyc := []int{6, 8, 10}
+	if *quick {
+		cyc = []int{6, 8}
+	}
+	for _, n := range cyc {
+		_, v := ovViewOf(workload.WinMove(workload.CycleEdges(n)))
+		on := timeIt(func() { must(stable.StableModels(v, stable.Options{})) })
+		off := timeIt(func() { must(stable.StableModels(v, stable.Options{NoPrune: true})) })
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.1fx\n", n, on, off, float64(off)/float64(on))
+	}
+	w.Flush()
+}
+
+// ---------- B8 ----------
+
+func b8() {
+	header("B8: goal-directed proof vs full materialisation (single anc query, OV(ancestor))")
+	sizes := []int{16, 32, 64, 128}
+	if *quick {
+		sizes = []int{16, 32, 64}
+	}
+	w := tw()
+	fmt.Fprintln(w, "n\tprove (cold)\tmaterialise lfp(V)\tlfp/prove")
+	for _, n := range sizes {
+		_, v := ovViewOf(workload.AncestorChain(n))
+		lit := must(ordlog.ParseLiteral(fmt.Sprintf("anc(c0, c%d)", n/2)))
+		id, ok := v.G.Tab.Lookup(lit.Atom)
+		if !ok {
+			fmt.Fprintf(w, "%d\tatom missing\t-\t-\n", n)
+			continue
+		}
+		goal := interp.MkLit(id, lit.Neg)
+		proveT := timeIt(func() {
+			pr := proof.New(v, 0)
+			ok, err := pr.Prove(goal)
+			if err != nil || !ok {
+				panic("prove failed")
+			}
+		})
+		lfpT := timeIt(func() { must(v.LeastModel()) })
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.1fx\n", n, proveT, lfpT, float64(lfpT)/float64(proveT))
+	}
+	w.Flush()
+}
+
+// ---------- B6 ----------
+
+func b6() {
+	header("B6: inheritance hierarchies with exceptions (least model in the most specific module)")
+	cfgs := [][3]int{{2, 4, 8}, {4, 4, 8}, {8, 4, 8}, {8, 8, 16}, {16, 8, 16}}
+	if *quick {
+		cfgs = [][3]int{{2, 4, 8}, {4, 4, 8}, {8, 4, 8}}
+	}
+	w := tw()
+	fmt.Fprintln(w, "depth\tprops\tmembers/level\tground rules\tatoms\tlfp(V)")
+	for _, cfg := range cfgs {
+		p := workload.Inheritance(cfg[0], cfg[1], cfg[2])
+		g := must(ground.Ground(p, ground.DefaultOptions()))
+		v := must(eval.NewViewByName(g, "lvl0"))
+		d := timeIt(func() { must(v.LeastModel()) })
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\n", cfg[0], cfg[1], cfg[2], len(g.Rules), g.Tab.Len(), d)
+	}
+	w.Flush()
+}

@@ -1,0 +1,46 @@
+// Command olpfmt pretty-prints .olp programs in the canonical form the
+// parser round-trips: module blocks, one clause per line, explicit order
+// declarations. With -w it rewrites the files in place, otherwise it
+// prints to stdout. Queries are re-emitted after the program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ordlog "repro"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite files in place")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: olpfmt [-w] file.olp...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := format(path, *write); err != nil {
+			fmt.Fprintf(os.Stderr, "olpfmt: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func format(path string, write bool) error {
+	res, err := ordlog.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	out := res.Program.String()
+	for _, q := range res.Queries {
+		out += q.String() + "\n"
+	}
+	if !write {
+		fmt.Print(out)
+		return nil
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}

@@ -1,0 +1,301 @@
+// Command ordlog evaluates ordered logic programs: it loads a .olp file,
+// computes the requested models in the requested component, answers the
+// queries embedded in the file, and can explain the rule statuses behind a
+// particular atom.
+//
+// Usage:
+//
+//	ordlog [flags] program.olp
+//
+//	-component name    target component (default: the most specific one)
+//	-semantics s       ordered | ov | ev | 3v (default ordered; ov/ev
+//	                   require a seminegative single-component program,
+//	                   3v a negative single-component program)
+//	-models kind       least | stable | af | cautious (default least)
+//	-max-models n      cap for stable/af enumeration (default all)
+//	-mode m            smart | full grounding (default smart)
+//	-explain atom      print the rule statuses around one ground atom
+//	-prove literal     goal-directed proof with derivation tree
+//	-edb file          merge a facts file into the target component
+//	-json              machine-readable output
+//	-stats             print grounding statistics
+//	-i                 interactive shell (see internal/repl)
+//	-analyze           static diagnostics (internal/analyze) and exit
+//	-dot order|deps    GraphViz of the component lattice or predicate deps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ordlog "repro"
+	"repro/internal/analyze"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/parser"
+	"repro/internal/repl"
+	"repro/internal/transform"
+)
+
+func main() {
+	component := flag.String("component", "", "target component (default: most specific)")
+	semantics := flag.String("semantics", "ordered", "ordered | ov | ev | 3v")
+	models := flag.String("models", "least", "least | stable | af | cautious")
+	maxModels := flag.Int("max-models", 0, "cap for stable/af enumeration (0 = all)")
+	mode := flag.String("mode", "smart", "smart | full grounding")
+	explain := flag.String("explain", "", "ground atom to explain")
+	prove := flag.String("prove", "", "ground literal to prove goal-directedly")
+	edb := flag.String("edb", "", "facts file merged into the target component before grounding")
+	jsonOut := flag.Bool("json", false, "emit models and answers as JSON")
+	stats := flag.Bool("stats", false, "print grounding statistics")
+	interactive := flag.Bool("i", false, "interactive shell (optionally preloading the program)")
+	analyzeFlag := flag.Bool("analyze", false, "print static diagnostics and exit")
+	dot := flag.String("dot", "", "emit GraphViz and exit: order | deps")
+	flag.Parse()
+	if (*analyzeFlag || *dot != "") && flag.NArg() == 1 {
+		if err := runAnalysis(flag.Arg(0), *analyzeFlag, *dot); err != nil {
+			fmt.Fprintln(os.Stderr, "ordlog:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *interactive {
+		if err := runREPL(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "ordlog:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ordlog [flags] program.olp")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *jsonOut, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "ordlog:", err)
+		os.Exit(1)
+	}
+}
+
+func runAnalysis(path string, diags bool, dot string) error {
+	res, err := ordlog.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	if diags {
+		for _, d := range analyze.Program(res.Program) {
+			fmt.Println(d)
+		}
+	}
+	switch dot {
+	case "":
+	case "order":
+		fmt.Print(analyze.OrderDOT(res.Program))
+	case "deps":
+		fmt.Print(analyze.DepsDOT(res.Program))
+	default:
+		return fmt.Errorf("unknown -dot %q (want order or deps)", dot)
+	}
+	return nil
+}
+
+func runREPL(args []string) error {
+	var prog *ordlog.Program
+	if len(args) == 1 {
+		res, err := ordlog.ParseFile(args[0])
+		if err != nil {
+			return err
+		}
+		prog = res.Program
+	} else if len(args) == 0 {
+		var err error
+		prog, err = ordlog.ParseProgram("module main { }")
+		if err != nil {
+			return err
+		}
+	} else {
+		return fmt.Errorf("usage: ordlog -i [program.olp]")
+	}
+	fmt.Println("ordered logic shell — type help for commands")
+	return repl.New(prog, core.Config{}, os.Stdout).Run(os.Stdin)
+}
+
+func run(path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, jsonOut, stats bool) error {
+	res, err := ordlog.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	prog := res.Program
+	if edb != "" {
+		b, err := os.ReadFile(edb)
+		if err != nil {
+			return err
+		}
+		target := component
+		if target == "" {
+			target = parser.MainComponent
+		}
+		if err := ordlog.MergeFacts(prog, target, string(b)); err != nil {
+			return fmt.Errorf("-edb: %v", err)
+		}
+	}
+
+	switch semantics {
+	case "ordered":
+	case "ov", "ev", "3v":
+		rules, err := transform.FlattenSingle(prog)
+		if err != nil {
+			return fmt.Errorf("-semantics %s needs a module-free program: %v", semantics, err)
+		}
+		switch semantics {
+		case "ov":
+			prog, err = ordlog.OV(parser.MainComponent, rules)
+		case "ev":
+			prog, err = ordlog.EV(parser.MainComponent, rules)
+		case "3v":
+			prog, err = ordlog.ThreeV(rules)
+			if err == nil && component == "" {
+				component = transform.ExceptionsName
+			}
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -semantics %q", semantics)
+	}
+
+	cfg := ordlog.Config{}
+	switch mode {
+	case "smart":
+	case "full":
+		cfg.Ground = ground.DefaultOptions()
+		cfg.Ground.Mode = ground.ModeFull
+	default:
+		return fmt.Errorf("unknown -mode %q", mode)
+	}
+
+	eng, err := ordlog.NewEngine(prog, cfg)
+	if err != nil {
+		return err
+	}
+	if component == "" {
+		component, err = eng.DefaultComponent()
+		if err != nil {
+			return err
+		}
+	}
+	if stats {
+		fmt.Printf("%% components: %d, ground rules: %d, relevant atoms: %d\n",
+			len(prog.Components), eng.NumGroundRules(), eng.NumAtoms())
+	}
+
+	if prove != "" {
+		lit, err := ordlog.ParseLiteral(prove)
+		if err != nil {
+			return fmt.Errorf("-prove: %v", err)
+		}
+		tree, ok, err := eng.ProveExplain(component, lit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%% prove %s in %s: %v\n", lit, component, ok)
+		if ok {
+			fmt.Print(tree)
+		}
+	}
+
+	if models == "cautious" {
+		cons, err := eng.Reason(component, ordlog.EnumOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%% cautious consequences over %d stable models in %s\n", cons.NumModels(), component)
+		for _, l := range cons.CautiousLiterals() {
+			fmt.Println(l)
+		}
+		return nil
+	}
+
+	var out []*ordlog.Model
+	switch models {
+	case "least":
+		m, err := eng.LeastModel(component)
+		if err != nil {
+			return err
+		}
+		out = []*ordlog.Model{m}
+	case "stable":
+		out, err = eng.StableModels(component, ordlog.EnumOptions{MaxModels: maxModels})
+		if err != nil {
+			return err
+		}
+	case "af":
+		out, err = eng.AssumptionFreeModels(component, ordlog.EnumOptions{MaxModels: maxModels})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -models %q", models)
+	}
+
+	for i, m := range out {
+		kind := models
+		if jsonOut {
+			b, err := m.JSON(false)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(b))
+			for _, q := range res.Queries {
+				jb, err := core.BindingsJSON(q, m.Query(q))
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(jb))
+			}
+			continue
+		}
+		if len(out) > 1 {
+			fmt.Printf("%% %s model %d of %d in %s\n", kind, i+1, len(out), component)
+		} else {
+			fmt.Printf("%% %s model in %s\n", kind, component)
+		}
+		fmt.Println(m)
+		for _, q := range res.Queries {
+			answers := m.Query(q)
+			fmt.Printf("%s  %% %d answers\n", q, len(answers))
+			for _, b := range answers {
+				if len(b) == 0 {
+					fmt.Println("  true")
+					continue
+				}
+				line := "  "
+				first := true
+				for _, v := range q.Vars() {
+					if !first {
+						line += ", "
+					}
+					first = false
+					line += v.Name + " = " + b[v.Name].String()
+				}
+				fmt.Println(line)
+			}
+		}
+	}
+
+	if explain != "" {
+		lit, err := ordlog.ParseLiteral(explain)
+		if err != nil {
+			return fmt.Errorf("-explain: %v", err)
+		}
+		m := out[0]
+		fmt.Printf("%% explanation for %s (value %s)\n", lit.Atom, m.Value(lit.Atom))
+		for _, line := range m.Explain(lit.Atom) {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package analyze provides static diagnostics over ordered programs —
+// the lint pass of the knowledge-base system: unsafe variables, predicates
+// with no defining rules, contradiction hot-spots (predicates defined with
+// both signs across unordered components, the defeat sources of §1),
+// unreachable components, and DOT renderings of the component lattice and
+// predicate dependency graph.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities: Info notes structure, Warn flags likely mistakes.
+const (
+	Info Severity = iota
+	Warn
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warn {
+		return "warn"
+	}
+	return "info"
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Severity  Severity
+	Component string // "" when program-wide
+	Message   string
+}
+
+// String renders the diagnostic as a single line.
+func (d Diagnostic) String() string {
+	where := d.Component
+	if where == "" {
+		where = "program"
+	}
+	return fmt.Sprintf("%s: %s: %s", d.Severity, where, d.Message)
+}
+
+// Program runs all checks and returns the findings sorted by severity
+// (warnings first) then text.
+func Program(p *ast.OrderedProgram) []Diagnostic {
+	var out []Diagnostic
+	out = append(out, unsafeVars(p)...)
+	out = append(out, undefinedPreds(p)...)
+	out = append(out, defeatSources(p)...)
+	out = append(out, emptyComponents(p)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// unsafeVars flags rule variables that no body literal binds: they are
+// legal (the grounder ranges them over the universe) but usually
+// accidental outside CWA facts.
+func unsafeVars(p *ast.OrderedProgram) []Diagnostic {
+	var out []Diagnostic
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			bound := make(map[string]bool)
+			for _, l := range r.Body {
+				for _, v := range l.Vars(nil) {
+					bound[v.Name] = true
+				}
+			}
+			var free []string
+			for _, v := range r.Vars() {
+				if !bound[v.Name] {
+					free = append(free, v.Name)
+				}
+			}
+			if len(free) == 0 {
+				continue
+			}
+			// Universal CWA facts are idiomatic; only note them.
+			sev := Warn
+			if r.IsFact() && r.Head.Neg {
+				sev = Info
+			}
+			out = append(out, Diagnostic{
+				Severity:  sev,
+				Component: c.Name,
+				Message: fmt.Sprintf("rule %s has unbound variables %s (instantiated over the whole universe)",
+					r, strings.Join(free, ", ")),
+			})
+		}
+	}
+	return out
+}
+
+// undefinedPreds flags body predicates that no visible rule can derive in
+// either sign — their literals are permanently undefined.
+func undefinedPreds(p *ast.OrderedProgram) []Diagnostic {
+	defined := make(map[ast.PredKey]bool)
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			defined[r.Head.Atom.Key()] = true
+		}
+	}
+	seen := make(map[ast.PredKey]bool)
+	var out []Diagnostic
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			for _, l := range r.Body {
+				k := l.Atom.Key()
+				if !defined[k] && !seen[k] {
+					seen[k] = true
+					out = append(out, Diagnostic{
+						Severity:  Warn,
+						Component: c.Name,
+						Message:   fmt.Sprintf("predicate %s occurs in a body but has no defining rule of either sign", k),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// defeatSources flags predicates defined with both signs in components
+// neither of which is strictly below the other: their instances can defeat
+// each other, which is often intended (Figure 2) but worth surfacing.
+func defeatSources(p *ast.OrderedProgram) []Diagnostic {
+	type def struct {
+		comp int
+		neg  bool
+	}
+	byPred := make(map[ast.PredKey][]def)
+	for ci, c := range p.Components {
+		for _, r := range c.Rules {
+			byPred[r.Head.Atom.Key()] = append(byPred[r.Head.Atom.Key()], def{ci, r.Head.Neg})
+		}
+	}
+	var keys []ast.PredKey
+	for k := range byPred {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	var out []Diagnostic
+	for _, k := range keys {
+		defs := byPred[k]
+		reported := false
+		for i := 0; i < len(defs) && !reported; i++ {
+			for j := i + 1; j < len(defs) && !reported; j++ {
+				a, b := defs[i], defs[j]
+				if a.neg == b.neg {
+					continue
+				}
+				if p.Less(a.comp, b.comp) || p.Less(b.comp, a.comp) {
+					continue // ordered: overruling, not defeating
+				}
+				out = append(out, Diagnostic{
+					Severity:  Info,
+					Component: p.Components[a.comp].Name,
+					Message: fmt.Sprintf("predicate %s is defined with both signs in unordered components %s and %s: instances may defeat each other",
+						k, p.Components[a.comp].Name, p.Components[b.comp].Name),
+				})
+				reported = true
+			}
+		}
+	}
+	return out
+}
+
+// emptyComponents notes components with no rules (placeholders like the
+// paper's initial "myself").
+func emptyComponents(p *ast.OrderedProgram) []Diagnostic {
+	var out []Diagnostic
+	for _, c := range p.Components {
+		if len(c.Rules) == 0 {
+			out = append(out, Diagnostic{
+				Severity:  Info,
+				Component: c.Name,
+				Message:   "component has no rules",
+			})
+		}
+	}
+	return out
+}
+
+// OrderDOT renders the component order as a GraphViz digraph (edges point
+// from the more specific component to the more general one it extends).
+func OrderDOT(p *ast.OrderedProgram) string {
+	var b strings.Builder
+	b.WriteString("digraph components {\n  rankdir=BT;\n")
+	for _, c := range p.Components {
+		fmt.Fprintf(&b, "  %q;\n", c.Name)
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e.Child, e.Parent)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DepsDOT renders the predicate dependency graph: an edge p -> q when a
+// rule with head on p has q in its body; dashed when the body literal is
+// negative, red when the head is negative.
+func DepsDOT(p *ast.OrderedProgram) string {
+	type edge struct {
+		from, to ast.PredKey
+		negBody  bool
+		negHead  bool
+	}
+	seen := make(map[string]bool)
+	var edges []edge
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			h := r.Head.Atom.Key()
+			for _, l := range r.Body {
+				e := edge{from: h, to: l.Atom.Key(), negBody: l.Neg, negHead: r.Head.Neg}
+				k := fmt.Sprintf("%v", e)
+				if !seen[k] {
+					seen[k] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return fmt.Sprintf("%v", edges[i]) < fmt.Sprintf("%v", edges[j])
+	})
+	var b strings.Builder
+	b.WriteString("digraph deps {\n")
+	for _, e := range edges {
+		attrs := []string{}
+		if e.negBody {
+			attrs = append(attrs, "style=dashed")
+		}
+		if e.negHead {
+			attrs = append(attrs, "color=red")
+		}
+		suffix := ""
+		if len(attrs) > 0 {
+			suffix = " [" + strings.Join(attrs, ",") + "]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.from.String(), e.to.String(), suffix)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/parser"
+)
+
+func diagsOf(t *testing.T, src string) []analyze.Diagnostic {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analyze.Program(p)
+}
+
+func joined(ds []analyze.Diagnostic) string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.String())
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestUnsafeVarWarning(t *testing.T) {
+	ds := diagsOf(t, "p(X) :- q(Y).\nq(a).\n")
+	s := joined(ds)
+	if !strings.Contains(s, "unbound variables X") {
+		t.Errorf("missing unsafe-var warning:\n%s", s)
+	}
+	// CWA facts are only informational.
+	ds2 := diagsOf(t, "module cwa { -p(X1). }\nmodule c { p(a). }\norder c < cwa.\n")
+	for _, d := range ds2 {
+		if strings.Contains(d.Message, "unbound variables") && d.Severity == analyze.Warn {
+			t.Errorf("CWA fact flagged as warning: %s", d)
+		}
+	}
+}
+
+func TestUndefinedPredicate(t *testing.T) {
+	ds := diagsOf(t, "p :- q.\n")
+	if !strings.Contains(joined(ds), "predicate q/0 occurs in a body but has no defining rule") {
+		t.Errorf("missing undefined-predicate warning:\n%s", joined(ds))
+	}
+	// Defined in either sign silences it.
+	ds2 := diagsOf(t, "p :- q.\n-q.\n")
+	if strings.Contains(joined(ds2), "no defining rule") {
+		t.Errorf("false positive:\n%s", joined(ds2))
+	}
+}
+
+func TestDefeatSource(t *testing.T) {
+	// Figure 2's shape: both signs in unordered components.
+	ds := diagsOf(t, `
+module c3 { rich(mimmo). -poor(X) :- rich(X). }
+module c2 { poor(mimmo). -rich(X) :- poor(X). }
+module c1 extends c2, c3 { free_ticket(X) :- poor(X). }
+`)
+	s := joined(ds)
+	if !strings.Contains(s, "may defeat each other") {
+		t.Errorf("missing defeat-source note:\n%s", s)
+	}
+	// Ordered components overrule instead: no note.
+	ds2 := diagsOf(t, `
+module c2 { fly(X) :- bird(X). bird(tux). }
+module c1 extends c2 { -fly(X) :- bird(X). }
+`)
+	if strings.Contains(joined(ds2), "defeat") {
+		t.Errorf("ordered overruling misreported:\n%s", joined(ds2))
+	}
+}
+
+func TestEmptyComponent(t *testing.T) {
+	ds := diagsOf(t, "module myself { }\nmodule e { a. }\norder myself < e.\n")
+	if !strings.Contains(joined(ds), "component has no rules") {
+		t.Errorf("missing empty-component note:\n%s", joined(ds))
+	}
+}
+
+func TestWarningsSortFirst(t *testing.T) {
+	ds := diagsOf(t, "module m { }\np(X) :- q(Y).\nq(a).\n")
+	if len(ds) < 2 {
+		t.Fatalf("expected several diagnostics, got %v", ds)
+	}
+	sawInfo := false
+	for _, d := range ds {
+		if d.Severity == analyze.Info {
+			sawInfo = true
+		}
+		if d.Severity == analyze.Warn && sawInfo {
+			t.Errorf("warning after info: %v", ds)
+		}
+	}
+}
+
+func TestOrderDOT(t *testing.T) {
+	p, err := parser.ParseProgram(`
+module c2 { a. }
+module c1 extends c2 { b. }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := analyze.OrderDOT(p)
+	for _, want := range []string{"digraph components", `"c1" -> "c2";`, "rankdir=BT"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("OrderDOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDepsDOT(t *testing.T) {
+	p, err := parser.ParseProgram(`
+fly(X) :- bird(X), -heavy(X).
+-fly(X) :- penguin(X).
+bird(a). heavy(a). penguin(a).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := analyze.DepsDOT(p)
+	for _, want := range []string{
+		`"fly/1" -> "bird/1";`,
+		`"fly/1" -> "heavy/1" [style=dashed];`,
+		`"fly/1" -> "penguin/1" [color=red];`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DepsDOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package ast
+
+import "testing"
+
+func te(t Term) Expr { return TermExpr{Term: t} }
+
+func TestEvalExpr(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want Term
+		ok   bool
+	}{
+		{te(Int(3)), Int(3), true},
+		{te(Sym("a")), Sym("a"), true},
+		{te(Var{Name: "X"}), nil, false},
+		{BinExpr{Op: Add, L: te(Int(2)), R: te(Int(3))}, Int(5), true},
+		{BinExpr{Op: Sub, L: te(Int(2)), R: te(Int(3))}, Int(-1), true},
+		{BinExpr{Op: Mul, L: te(Int(4)), R: te(Int(3))}, Int(12), true},
+		{BinExpr{Op: Div, L: te(Int(7)), R: te(Int(2))}, Int(3), true},
+		{BinExpr{Op: Div, L: te(Int(7)), R: te(Int(0))}, nil, false},
+		{BinExpr{Op: Mod, L: te(Int(7)), R: te(Int(3))}, Int(1), true},
+		{BinExpr{Op: Mod, L: te(Int(7)), R: te(Int(0))}, nil, false},
+		{BinExpr{Op: Add, L: te(Sym("a")), R: te(Int(1))}, nil, false},
+		{BinExpr{Op: Add, L: BinExpr{Op: Mul, L: te(Int(2)), R: te(Int(3))}, R: te(Int(1))}, Int(7), true},
+	}
+	for _, c := range cases {
+		got, ok := EvalExpr(c.e)
+		if ok != c.ok {
+			t.Errorf("EvalExpr(%s) ok = %v, want %v", c.e, ok, c.ok)
+			continue
+		}
+		if ok && !got.Equal(c.want) {
+			t.Errorf("EvalExpr(%s) = %s, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalBuiltin(t *testing.T) {
+	cases := []struct {
+		b         Builtin
+		holds, ok bool
+	}{
+		{Builtin{Op: EQ, L: te(Int(3)), R: te(Int(3))}, true, true},
+		{Builtin{Op: EQ, L: te(Sym("a")), R: te(Sym("a"))}, true, true},
+		{Builtin{Op: EQ, L: te(Sym("a")), R: te(Sym("b"))}, false, true},
+		{Builtin{Op: EQ, L: te(Sym("1")), R: te(Int(1))}, false, true},
+		{Builtin{Op: NE, L: te(Sym("a")), R: te(Sym("b"))}, true, true},
+		{Builtin{Op: LT, L: te(Int(1)), R: te(Int(2))}, true, true},
+		{Builtin{Op: LE, L: te(Int(2)), R: te(Int(2))}, true, true},
+		{Builtin{Op: GT, L: te(Int(1)), R: te(Int(2))}, false, true},
+		{Builtin{Op: GE, L: te(Int(2)), R: te(Int(3))}, false, true},
+		// Ordering on non-integers is ill-typed.
+		{Builtin{Op: LT, L: te(Sym("a")), R: te(Sym("b"))}, false, false},
+		// Unbound variables make the builtin unevaluable.
+		{Builtin{Op: LT, L: te(Var{Name: "X"}), R: te(Int(2))}, false, false},
+		// Arithmetic inside comparisons (Figure 3's X > Y + 2).
+		{Builtin{Op: GT, L: te(Int(19)), R: BinExpr{Op: Add, L: te(Int(16)), R: te(Int(2))}}, true, true},
+		{Builtin{Op: GT, L: te(Int(12)), R: BinExpr{Op: Add, L: te(Int(16)), R: te(Int(2))}}, false, true},
+	}
+	for _, c := range cases {
+		holds, ok := EvalBuiltin(c.b)
+		if holds != c.holds || ok != c.ok {
+			t.Errorf("EvalBuiltin(%s) = (%v,%v), want (%v,%v)", c.b, holds, ok, c.holds, c.ok)
+		}
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	pairs := [][2]CmpOp{{EQ, NE}, {LT, GE}, {LE, GT}}
+	for _, p := range pairs {
+		if p[0].Negate() != p[1] || p[1].Negate() != p[0] {
+			t.Errorf("Negate(%s) <-> %s broken", p[0], p[1])
+		}
+	}
+}
+
+func TestBuiltinString(t *testing.T) {
+	b := Builtin{Op: GT, L: te(Var{Name: "X"}), R: BinExpr{Op: Add, L: te(Var{Name: "Y"}), R: te(Int(2))}}
+	if got := b.String(); got != "X > (Y + 2)" {
+		t.Errorf("Builtin.String = %q", got)
+	}
+	vs := b.Vars(nil)
+	if len(vs) != 2 || vs[0].Name != "X" || vs[1].Name != "Y" {
+		t.Errorf("Builtin.Vars = %v", vs)
+	}
+}
+
+func TestSubstituteExpr(t *testing.T) {
+	e := BinExpr{Op: Add, L: te(Var{Name: "X"}), R: te(Var{Name: "Y"})}
+	out := SubstituteExpr(e, func(v Var) Term {
+		if v.Name == "X" {
+			return Int(4)
+		}
+		return nil
+	})
+	if got := out.String(); got != "(4 + Y)" {
+		t.Errorf("SubstituteExpr = %q", got)
+	}
+}
+
+func TestBuiltinEqual(t *testing.T) {
+	a := Builtin{Op: GT, L: te(Var{Name: "X"}), R: te(Int(1))}
+	b := Builtin{Op: GT, L: te(Var{Name: "X"}), R: te(Int(1))}
+	c := Builtin{Op: GE, L: te(Var{Name: "X"}), R: te(Int(1))}
+	if !a.Equal(b) {
+		t.Error("equal builtins not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different op builtins Equal")
+	}
+}

@@ -1,0 +1,92 @@
+package ast
+
+import "testing"
+
+func atomOf(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+func TestAtomString(t *testing.T) {
+	if got := atomOf("p").String(); got != "p" {
+		t.Errorf("propositional atom = %q", got)
+	}
+	if got := atomOf("p", Sym("a"), Int(2)).String(); got != "p(a, 2)" {
+		t.Errorf("atom = %q, want p(a, 2)", got)
+	}
+}
+
+func TestAtomEqualAndGround(t *testing.T) {
+	a := atomOf("p", Sym("a"))
+	if !a.Equal(atomOf("p", Sym("a"))) {
+		t.Error("equal atoms not Equal")
+	}
+	if a.Equal(atomOf("p", Sym("b"))) || a.Equal(atomOf("q", Sym("a"))) || a.Equal(atomOf("p")) {
+		t.Error("unequal atoms Equal")
+	}
+	if !a.Ground() {
+		t.Error("ground atom not Ground")
+	}
+	if atomOf("p", Var{Name: "X"}).Ground() {
+		t.Error("non-ground atom Ground")
+	}
+}
+
+func TestAtomKey(t *testing.T) {
+	if got := atomOf("p", Sym("a"), Sym("b")).Key(); got != (PredKey{"p", 2}) {
+		t.Errorf("Key = %v", got)
+	}
+	if got := (PredKey{"parent", 2}).String(); got != "parent/2" {
+		t.Errorf("PredKey.String = %q", got)
+	}
+	if got := (PredKey{"p", 12}).String(); got != "p/12" {
+		t.Errorf("PredKey.String two-digit arity = %q", got)
+	}
+}
+
+func TestLiteralBasics(t *testing.T) {
+	a := atomOf("fly", Sym("tweety"))
+	pos, neg := Pos(a), Neg(a)
+	if pos.Neg || !neg.Neg {
+		t.Error("Pos/Neg signs wrong")
+	}
+	if pos.String() != "fly(tweety)" || neg.String() != "-fly(tweety)" {
+		t.Errorf("literal strings: %q %q", pos, neg)
+	}
+	if !pos.Complement().Equal(neg) || !neg.Complement().Equal(pos) {
+		t.Error("Complement not involutive")
+	}
+	if pos.Equal(neg) {
+		t.Error("complementary literals Equal")
+	}
+	if !pos.Ground() {
+		t.Error("ground literal not Ground")
+	}
+}
+
+func TestCompareLiterals(t *testing.T) {
+	ordered := []Literal{
+		Pos(atomOf("a")),
+		Neg(atomOf("a")),
+		Pos(atomOf("b", Sym("x"))),
+		Pos(atomOf("b", Sym("y"))),
+		Neg(atomOf("b", Sym("y"))),
+		Pos(atomOf("c")),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := CompareLiterals(ordered[i], ordered[j])
+			if i < j && got >= 0 || i > j && got <= 0 || i == j && got != 0 {
+				t.Errorf("CompareLiterals(%s, %s) = %d with i=%d j=%d", ordered[i], ordered[j], got, i, j)
+			}
+		}
+	}
+}
+
+func TestSubstituteLiteral(t *testing.T) {
+	l := Neg(atomOf("p", Var{Name: "X"}))
+	out := SubstituteLiteral(l, func(v Var) Term { return Sym("a") })
+	if out.String() != "-p(a)" {
+		t.Errorf("SubstituteLiteral = %s", out)
+	}
+	if l.String() != "-p(X)" {
+		t.Error("substitution mutated source literal")
+	}
+}

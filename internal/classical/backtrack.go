@@ -1,0 +1,187 @@
+package classical
+
+import (
+	"repro/internal/interp"
+)
+
+// StableModelsBacktracking enumerates total stable models with the
+// backtracking-fixpoint strategy of [SZ] (Saccà & Zaniolo, "Stable models
+// and non-determinism for logic programs with negation"): starting from
+// the deterministic consequences, repeatedly pick an unresolved negative
+// "assumption" (an atom whose rules are all waiting on negated atoms),
+// assume it false, propagate, and backtrack over the choice. The leaves
+// are verified with the Gelfond–Lifschitz condition, so the enumeration is
+// exact; the strategy differs from StableModelsTotal (which branches over
+// all well-founded-undefined atoms) by propagating after every choice.
+func (p *Program) StableModelsBacktracking(opts StableOptions) ([]*interp.Bitset, error) {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 1 << 22
+	}
+	n := p.Tab.Len()
+	var found []*interp.Bitset
+	nodes := 0
+
+	// Three-valued state: True/False assignments; Undef means open.
+	type state struct {
+		truth    *interp.Bitset
+		falseSet *interp.Bitset
+	}
+	clone := func(s state) state {
+		return state{truth: s.truth.Clone(), falseSet: s.falseSet.Clone()}
+	}
+
+	// propagate closes the state under two monotone inferences:
+	//  - a rule with true positive body and false negated atoms fires;
+	//  - an atom all of whose rules are dead (some positive body atom
+	//    false, or some negated atom true) is false.
+	// It reports consistency.
+	propagate := func(s state) bool {
+		for changed := true; changed; {
+			changed = false
+			for i := range p.Rules {
+				r := &p.Rules[i]
+				if s.truth.Get(int(r.Head)) {
+					continue
+				}
+				fires := true
+				for _, a := range r.Pos {
+					if !s.truth.Get(int(a)) {
+						fires = false
+						break
+					}
+				}
+				if fires {
+					for _, a := range r.Neg {
+						if !s.falseSet.Get(int(a)) {
+							fires = false
+							break
+						}
+					}
+				}
+				if fires {
+					if s.falseSet.Get(int(r.Head)) {
+						return false
+					}
+					s.truth.Set(int(r.Head))
+					changed = true
+				}
+			}
+			for a := 0; a < n; a++ {
+				if s.truth.Get(a) || s.falseSet.Get(a) {
+					continue
+				}
+				dead := true
+				for _, ri := range p.headRules[interp.AtomID(a)] {
+					r := &p.Rules[ri]
+					ruleDead := false
+					for _, b := range r.Pos {
+						if s.falseSet.Get(int(b)) {
+							ruleDead = true
+							break
+						}
+					}
+					if !ruleDead {
+						for _, b := range r.Neg {
+							if s.truth.Get(int(b)) {
+								ruleDead = true
+								break
+							}
+						}
+					}
+					if !ruleDead {
+						dead = false
+						break
+					}
+				}
+				if dead {
+					s.falseSet.Set(a)
+					changed = true
+				}
+			}
+		}
+		return true
+	}
+
+	var rec func(s state) error
+	rec = func(s state) error {
+		nodes++
+		if nodes > opts.MaxNodes {
+			return ErrBudget
+		}
+		if opts.MaxModels > 0 && len(found) >= opts.MaxModels {
+			return nil
+		}
+		if !propagate(s) {
+			return nil
+		}
+		// Pick an open atom; prefer one occurring under negation in a rule
+		// whose positive part is already true (the [SZ] "assumption").
+		choice := -1
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			ok := true
+			for _, a := range r.Pos {
+				if !s.truth.Get(int(a)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, a := range r.Neg {
+				if !s.truth.Get(int(a)) && !s.falseSet.Get(int(a)) {
+					choice = int(a)
+					break
+				}
+			}
+			if choice >= 0 {
+				break
+			}
+		}
+		if choice < 0 {
+			for a := 0; a < n; a++ {
+				if !s.truth.Get(a) && !s.falseSet.Get(a) {
+					choice = a
+					break
+				}
+			}
+		}
+		if choice < 0 {
+			// Total: verify stability.
+			if p.IsStableTotal(s.truth) {
+				found = append(found, s.truth.Clone())
+			}
+			return nil
+		}
+		// Assume false first (the closed-world-leaning branch), then true.
+		left := clone(s)
+		left.falseSet.Set(choice)
+		if err := rec(left); err != nil {
+			return err
+		}
+		right := clone(s)
+		right.truth.Set(choice)
+		return rec(right)
+	}
+
+	start := state{truth: interp.NewBitset(n), falseSet: interp.NewBitset(n)}
+	if err := rec(start); err != nil {
+		return nil, err
+	}
+	// Distinct branches can converge to the same model; deduplicate.
+	var out []*interp.Bitset
+	for _, m := range found {
+		dup := false
+		for _, o := range out {
+			if o.Equal(m) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

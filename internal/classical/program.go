@@ -1,0 +1,349 @@
+// Package classical implements the classical negation-as-failure semantics
+// the paper compares against: stratified Datalog [ABW], the well-founded
+// semantics [VRS] via the alternating fixpoint, total stable models [GL1],
+// and the 3-valued models and founded/stable models of [P3] and [SZ] that
+// §3 of the paper proves are captured by the OV/EV translations.
+//
+// Programs here are seminegative (positive heads); body negation is read
+// as negation as failure. The package has its own ground representation:
+// a rule is head <- positive atoms, negated atoms.
+package classical
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/datalog"
+	"repro/internal/interp"
+	"repro/internal/storage"
+	"repro/internal/unify"
+)
+
+// Rule is a ground seminegative rule over interned atoms: Head <- Pos,
+// not Neg.
+type Rule struct {
+	Head interp.AtomID
+	Pos  []interp.AtomID
+	Neg  []interp.AtomID
+	Src  *ast.Rule
+}
+
+// Program is a ground classical program.
+type Program struct {
+	Tab   *interp.Table
+	Rules []Rule
+	// headRules[a] lists the indexes of rules with head a.
+	headRules map[interp.AtomID][]int32
+}
+
+// HeadRules returns the indexes of the rules with the given head atom.
+func (p *Program) HeadRules(a interp.AtomID) []int32 { return p.headRules[a] }
+
+// Options configures classical grounding.
+type Options struct {
+	// MaxDerived caps the possible-atom fixpoint and instance count
+	// (0 = 1<<22).
+	MaxDerived int
+	// Full instantiates every rule over the whole constant universe and
+	// interns the complete Herbrand base, instead of relevance-based
+	// grounding. Required when enumerating arbitrary 3-valued models
+	// (relevance grounding drops rules with underivable positive bodies,
+	// which is sound for negation-as-failure fixpoints but changes the
+	// 3-valued model family).
+	Full bool
+}
+
+// domKeyC binds head variables that no positive body literal binds.
+var domKeyC = ast.PredKey{Name: "$dom", Arity: 1}
+
+// GroundRules instantiates a seminegative program with relevance-based
+// grounding: the positive-projection fixpoint over-approximates the
+// derivable atoms, rules are instantiated by joins over it (negation as
+// failure never restricts instantiation), and negated atoms are interned
+// as encountered. Every rule variable must occur in a positive body
+// literal or be a head variable (head variables without positive binding
+// range over the universe of program constants).
+func GroundRules(rules []*ast.Rule, opts Options) (*Program, error) {
+	if opts.MaxDerived == 0 {
+		opts.MaxDerived = 1 << 22
+	}
+	for _, r := range rules {
+		if r.Head.Neg {
+			return nil, fmt.Errorf("classical: negative head in %s", r)
+		}
+	}
+	// Universe of constants for head-only variables.
+	sp := ast.SingleComponent("c", rules)
+	uni := sp.Constants()
+	if len(uni) == 0 {
+		uni = []ast.Term{ast.Sym("u0")}
+	}
+
+	st := storage.NewStore()
+	dom := st.Rel(domKeyC)
+	for _, t := range uni {
+		dom.Insert([]ast.Term{t})
+	}
+	type src struct {
+		r    *ast.Rule
+		body []datalog.Lit // positive body plus $dom for free head vars
+	}
+	var srcs []src
+	var dl []*datalog.Rule
+	for _, r := range rules {
+		bound := make(map[string]bool)
+		var body []datalog.Lit
+		for _, l := range r.Body {
+			if l.Neg {
+				continue
+			}
+			body = append(body, datalog.Lit{Key: l.Atom.Key(), Args: l.Atom.Args})
+			for _, v := range l.Vars(nil) {
+				bound[v.Name] = true
+			}
+		}
+		for _, v := range r.Head.Vars(nil) {
+			if !bound[v.Name] {
+				bound[v.Name] = true
+				body = append(body, datalog.Lit{Key: domKeyC, Args: []ast.Term{v}})
+			}
+		}
+		// Negated and builtin variables must now be bound.
+		for _, l := range r.Body {
+			if !l.Neg {
+				continue
+			}
+			for _, v := range l.Vars(nil) {
+				if !bound[v.Name] {
+					return nil, fmt.Errorf("classical: unsafe rule %s: variable %s only in negated literal", r, v.Name)
+				}
+			}
+		}
+		for _, b := range r.Builtins {
+			for _, v := range b.Vars(nil) {
+				if !bound[v.Name] {
+					return nil, fmt.Errorf("classical: unsafe rule %s: variable %s only in builtin", r, v.Name)
+				}
+			}
+		}
+		dl = append(dl, &datalog.Rule{
+			Head:     datalog.Lit{Key: r.Head.Atom.Key(), Args: r.Head.Atom.Args},
+			Body:     body,
+			Builtins: r.Builtins,
+		})
+		srcs = append(srcs, src{r: r, body: body})
+	}
+	if !opts.Full {
+		// Bound derived terms by the deepest term written in the program:
+		// the classical baselines are Datalog engines, and without the
+		// guard a functor head like num(s(X)) :- num(X) would diverge.
+		maxDepth := 0
+		for _, r := range rules {
+			for _, t := range r.Head.Atom.Args {
+				if d := ast.TermDepth(t); d > maxDepth {
+					maxDepth = d
+				}
+			}
+			for _, l := range r.Body {
+				for _, t := range l.Atom.Args {
+					if d := ast.TermDepth(t); d > maxDepth {
+						maxDepth = d
+					}
+				}
+			}
+		}
+		filter := func(a ast.Atom) bool {
+			for _, t := range a.Args {
+				if ast.TermDepth(t) > maxDepth {
+					return false
+				}
+			}
+			return true
+		}
+		if _, err := datalog.Eval(st, dl, datalog.Options{MaxDerived: opts.MaxDerived, AtomFilter: filter}); err != nil {
+			return nil, err
+		}
+	}
+
+	p := &Program{Tab: interp.NewTable(), headRules: make(map[interp.AtomID][]int32)}
+	seen := make(map[string]bool)
+	emit := func(r *ast.Rule, s *unify.Subst) error {
+		for _, b := range r.Builtins {
+			gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+			holds, ok := ast.EvalBuiltin(gb)
+			if !ok || !holds {
+				return nil
+			}
+		}
+		gr := Rule{Src: r}
+		head := s.ApplyAtom(r.Head.Atom)
+		key := head.String()
+		for _, l := range r.Body {
+			a := s.ApplyAtom(l.Atom)
+			if !a.Ground() {
+				return fmt.Errorf("classical: non-ground instance of %s", r)
+			}
+			id := p.Tab.Intern(a)
+			if l.Neg {
+				gr.Neg = append(gr.Neg, id)
+				key += "\x01-" + a.String()
+			} else {
+				gr.Pos = append(gr.Pos, id)
+				key += "\x01+" + a.String()
+			}
+		}
+		if !head.Ground() {
+			return fmt.Errorf("classical: non-ground head instance of %s", r)
+		}
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		gr.Head = p.Tab.Intern(head)
+		p.headRules[gr.Head] = append(p.headRules[gr.Head], int32(len(p.Rules)))
+		p.Rules = append(p.Rules, gr)
+		if len(p.Rules) > opts.MaxDerived {
+			return datalog.ErrBudget
+		}
+		return nil
+	}
+	if opts.Full {
+		// Exhaustive instantiation over the constant universe, then intern
+		// the complete Herbrand base of every referenced predicate.
+		for _, r := range rules {
+			if err := enumerateAll(r, uni, func(s *unify.Subst) error { return emit(r, s) }); err != nil {
+				return nil, err
+			}
+		}
+		for _, k := range ast.SingleComponent("c", rules).Predicates() {
+			if err := internAll(p.Tab, k, uni, opts.MaxDerived); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	for _, sr := range srcs {
+		if err := joinOver(st, sr.body, func(s *unify.Subst) error { return emit(sr.r, s) }); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// enumerateAll binds every rule variable over the universe.
+func enumerateAll(r *ast.Rule, uni []ast.Term, yield func(*unify.Subst) error) error {
+	vars := r.Vars()
+	s := unify.NewSubst()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			return yield(s)
+		}
+		for _, t := range uni {
+			mark := s.Mark()
+			s.Bind(vars[i], t)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			s.Undo(mark)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// internAll interns every atom of predicate k over the universe.
+func internAll(tab *interp.Table, k ast.PredKey, uni []ast.Term, budget int) error {
+	args := make([]ast.Term, k.Arity)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == k.Arity {
+			tab.Intern(ast.Atom{Pred: k.Name, Args: append([]ast.Term(nil), args...)})
+			if budget > 0 && tab.Len() > budget {
+				return datalog.ErrBudget
+			}
+			return nil
+		}
+		for _, t := range uni {
+			args[i] = t
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// joinOver enumerates substitutions satisfying the positive body over st.
+func joinOver(st *storage.Store, body []datalog.Lit, yield func(*unify.Subst) error) error {
+	s := unify.NewSubst()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(body) {
+			return yield(s)
+		}
+		l := body[i]
+		rel := st.Peek(l.Key)
+		if rel == nil {
+			return nil
+		}
+		pattern := make([]ast.Term, len(l.Args))
+		for j, t := range l.Args {
+			pattern[j] = s.Apply(t)
+		}
+		for _, ti := range rel.Candidates(pattern, 0) {
+			tup := rel.Tuple(ti)
+			mark := s.Mark()
+			ok := true
+			for j := range pattern {
+				if !unify.Match(s, pattern[j], tup[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			s.Undo(mark)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {
+	return ast.SubstituteExpr(e, func(v ast.Var) ast.Term {
+		t := s.Apply(v)
+		if tv, ok := t.(ast.Var); ok && tv.Name == v.Name {
+			return nil
+		}
+		return t
+	})
+}
+
+// RuleString renders a ground classical rule.
+func (p *Program) RuleString(r *Rule) string {
+	s := p.Tab.Atom(r.Head).String()
+	if len(r.Pos)+len(r.Neg) > 0 {
+		s += " :- "
+		first := true
+		for _, a := range r.Pos {
+			if !first {
+				s += ", "
+			}
+			first = false
+			s += p.Tab.Atom(a).String()
+		}
+		for _, a := range r.Neg {
+			if !first {
+				s += ", "
+			}
+			first = false
+			s += "not " + p.Tab.Atom(a).String()
+		}
+	}
+	return s + "."
+}

@@ -1,0 +1,240 @@
+package classical
+
+import (
+	"errors"
+
+	"repro/internal/interp"
+)
+
+// ErrBudget reports that a stable-model search exceeded its budget.
+var ErrBudget = errors.New("classical: search budget exceeded")
+
+// StableOptions configures total stable model enumeration.
+type StableOptions struct {
+	// MaxNodes caps the DPLL nodes explored (0 = 1<<22).
+	MaxNodes int
+	// MaxModels stops after this many models (0 = all).
+	MaxModels int
+}
+
+// StableModelsTotal enumerates the total stable models [GL1] of the ground
+// program by branch and bound over the undefined atoms of the well-founded
+// model: the well-founded true and false atoms belong to every stable
+// model, branching assigns one undefined atom at a time, and every leaf is
+// verified with the Gelfond–Lifschitz reduct condition.
+func (p *Program) StableModelsTotal(opts StableOptions) ([]*interp.Bitset, error) {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 1 << 22
+	}
+	n := p.Tab.Len()
+	wf := p.WellFounded()
+	fixedTrue := interp.NewBitset(n)
+	fixedFalse := interp.NewBitset(n)
+	var branch []interp.AtomID
+	for i := 0; i < n; i++ {
+		switch wf.Value(interp.AtomID(i)) {
+		case interp.True:
+			fixedTrue.Set(i)
+		case interp.False:
+			fixedFalse.Set(i)
+		default:
+			branch = append(branch, interp.AtomID(i))
+		}
+	}
+	var found []*interp.Bitset
+	nodes := 0
+	cand := fixedTrue.Clone()
+	var rec func(k int) error
+	rec = func(k int) error {
+		nodes++
+		if nodes > opts.MaxNodes {
+			return ErrBudget
+		}
+		if opts.MaxModels > 0 && len(found) >= opts.MaxModels {
+			return nil
+		}
+		if k == len(branch) {
+			if p.IsStableTotal(cand) {
+				found = append(found, cand.Clone())
+			}
+			return nil
+		}
+		a := int(branch[k])
+		cand.Set(a)
+		if err := rec(k + 1); err != nil {
+			return err
+		}
+		cand.Clear(a)
+		return rec(k + 1)
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// value3 returns the three-valued truth value of an atom in a partial
+// interpretation.
+func value3(m *interp.Interp, a interp.AtomID) interp.Value { return m.Value(a) }
+
+// bodyValue3 returns min over the body literals: positives take the atom's
+// value, negated atoms the complement value. An empty body is True.
+func (p *Program) bodyValue3(m *interp.Interp, r *Rule) interp.Value {
+	v := interp.True
+	for _, a := range r.Pos {
+		if w := value3(m, a); w < v {
+			v = w
+		}
+	}
+	for _, a := range r.Neg {
+		w := interp.True - value3(m, a) // complement: T<->F, U fixed
+		if w < v {
+			v = w
+		}
+	}
+	return v
+}
+
+// IsThreeValuedModel checks Przymusinski's condition [P3]: for every ground
+// rule, value(head) >= value(body) with F < U < T.
+func (p *Program) IsThreeValuedModel(m *interp.Interp) bool {
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if value3(m, r.Head) < p.bodyValue3(m, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFounded checks the foundedness condition of [SZ] for a 3-valued model
+// M: build the positive version C_M by deleting every non-applied rule
+// (a rule is applied when its body literals are all in M and its head is
+// in M) and dropping the negated literals of the remaining ones; M is
+// founded iff the least model of C_M equals M⁺.
+func (p *Program) IsFounded(m *interp.Interp) bool {
+	// lfp over the applied rules' positive parts.
+	derived := interp.NewBitset(p.Tab.Len())
+	for changed := true; changed; {
+		changed = false
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			if derived.Get(int(r.Head)) {
+				continue
+			}
+			if !p.applied(m, r) {
+				continue
+			}
+			ok := true
+			for _, a := range r.Pos {
+				if !derived.Get(int(a)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derived.Set(int(r.Head))
+				changed = true
+			}
+		}
+	}
+	for i := 0; i < p.Tab.Len(); i++ {
+		if derived.Get(i) != (m.Value(interp.AtomID(i)) == interp.True) {
+			return false
+		}
+	}
+	return true
+}
+
+// applied reports the paper's §3 notion: every body literal of r is a
+// member of M (positives true, negated atoms false) and the head is in M.
+func (p *Program) applied(m *interp.Interp, r *Rule) bool {
+	if m.Value(r.Head) != interp.True {
+		return false
+	}
+	for _, a := range r.Pos {
+		if m.Value(a) != interp.True {
+			return false
+		}
+	}
+	for _, a := range r.Neg {
+		if m.Value(a) != interp.False {
+			return false
+		}
+	}
+	return true
+}
+
+// FoundedModels enumerates all 3-valued founded models by brute force over
+// three-valued assignments — exponential, for theorem verification on
+// small programs only. The budget caps the assignments examined.
+func (p *Program) FoundedModels(maxLeaves int) ([]*interp.Interp, error) {
+	if maxLeaves == 0 {
+		maxLeaves = 1 << 22
+	}
+	n := p.Tab.Len()
+	cur := interp.New(p.Tab)
+	var found []*interp.Interp
+	leaves := 0
+	var rec func(a int) error
+	rec = func(a int) error {
+		if a == n {
+			leaves++
+			if leaves > maxLeaves {
+				return ErrBudget
+			}
+			if p.IsThreeValuedModel(cur) && p.IsFounded(cur) {
+				found = append(found, cur.Clone())
+			}
+			return nil
+		}
+		id := interp.AtomID(a)
+		cur.AddLit(interp.MkLit(id, false))
+		if err := rec(a + 1); err != nil {
+			return err
+		}
+		cur.RemoveLit(interp.MkLit(id, false))
+		cur.AddLit(interp.MkLit(id, true))
+		if err := rec(a + 1); err != nil {
+			return err
+		}
+		cur.RemoveLit(interp.MkLit(id, true))
+		return rec(a + 1)
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// StableThreeValued returns the maximal founded models — the 3-valued
+// stable models of [SZ]. Brute force; small programs only.
+func (p *Program) StableThreeValued(maxLeaves int) ([]*interp.Interp, error) {
+	founded, err := p.FoundedModels(maxLeaves)
+	if err != nil {
+		return nil, err
+	}
+	var out []*interp.Interp
+	for i, m := range founded {
+		maximal := true
+		for j, o := range founded {
+			if i != j && m.ProperSubsetOf(o) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			dup := false
+			for _, o := range out {
+				if o.Equal(m) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}

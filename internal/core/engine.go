@@ -1,0 +1,214 @@
+// Package core wires the parser, grounder, evaluator and stable-model
+// enumerator into one engine: the paper's primary contribution as a usable
+// deductive-database library. The root package ordlog re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/proof"
+	"repro/internal/stable"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Ground selects grounding mode, depth bound and budgets. The zero
+	// value means ground.DefaultOptions().
+	Ground ground.Options
+}
+
+// Engine holds a grounded ordered program and caches per-component views,
+// least models and provers. An Engine is immutable after construction:
+// callers that change the source program build a new Engine.
+type Engine struct {
+	src     *ast.OrderedProgram
+	gp      *ground.Program
+	views   map[int]*eval.View
+	provers map[int]*proof.Prover
+	least   map[int]*Model
+}
+
+// NewEngine grounds the program. The program must be validated (parser
+// output always is; hand-built programs need Validate).
+func NewEngine(p *ast.OrderedProgram, cfg Config) (*Engine, error) {
+	opts := cfg.Ground
+	zero := ground.Options{}
+	if opts == zero {
+		opts = ground.DefaultOptions()
+	}
+	gp, err := ground.Ground(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{src: p, gp: gp, views: make(map[int]*eval.View)}, nil
+}
+
+// Source returns the source program.
+func (e *Engine) Source() *ast.OrderedProgram { return e.src }
+
+// Grounded returns the ground program.
+func (e *Engine) Grounded() *ground.Program { return e.gp }
+
+// NumGroundRules returns the number of ground rule instances.
+func (e *Engine) NumGroundRules() int { return len(e.gp.Rules) }
+
+// NumAtoms returns the size of the (relevant) Herbrand base.
+func (e *Engine) NumAtoms() int { return e.gp.Tab.Len() }
+
+// DefaultComponent picks the component a query without an explicit target
+// refers to: the unique minimal element of the order (the most specific
+// component, the paper's "myself" level); if the order has several minimal
+// elements, the implicit component "main" when present. Otherwise an error.
+func (e *Engine) DefaultComponent() (string, error) {
+	var minimal []string
+	for i, c := range e.src.Components {
+		isMin := true
+		for j := range e.src.Components {
+			if e.src.Less(j, i) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, c.Name)
+		}
+	}
+	if len(minimal) == 1 {
+		return minimal[0], nil
+	}
+	for _, n := range minimal {
+		if n == "main" {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("core: no unique most specific component (minimal: %v); name one explicitly", minimal)
+}
+
+// View returns the cached evaluation view for a component; comp == ""
+// selects DefaultComponent.
+func (e *Engine) View(comp string) (*eval.View, error) {
+	if comp == "" {
+		var err error
+		comp, err = e.DefaultComponent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	i, ok := e.src.ComponentIndex(comp)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown component %q", comp)
+	}
+	if v, ok := e.views[i]; ok {
+		return v, nil
+	}
+	v := eval.NewView(e.gp, i)
+	e.views[i] = v
+	return v, nil
+}
+
+// LeastModel computes the least model of the program in the component
+// (lfp of the ordered immediate transformation, Theorem 1(b)). Results are
+// cached per component; callers must not mutate the returned model's
+// interpretation.
+func (e *Engine) LeastModel(comp string) (*Model, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	if e.least == nil {
+		e.least = make(map[int]*Model)
+	}
+	if m, ok := e.least[v.Comp]; ok {
+		return m, nil
+	}
+	in, err := v.LeastModel()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{view: v, in: in}
+	e.least[v.Comp] = m
+	return m, nil
+}
+
+// AssumptionFreeModels enumerates the assumption-free models in the
+// component (Definition 7).
+func (e *Engine) AssumptionFreeModels(comp string, opts stable.Options) ([]*Model, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := stable.AssumptionFreeModels(v, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapModels(v, ms), nil
+}
+
+// StableModels enumerates the stable models in the component — the maximal
+// assumption-free models (Definition 9).
+func (e *Engine) StableModels(comp string, opts stable.Options) ([]*Model, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := stable.StableModels(v, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapModels(v, ms), nil
+}
+
+// StableModelsParallel enumerates the stable models with a worker pool
+// (see stable.AssumptionFreeModelsParallel for the exact semantics of the
+// shared budgets).
+func (e *Engine) StableModelsParallel(comp string, opts stable.ParallelOptions) ([]*Model, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := stable.StableModelsParallel(v, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapModels(v, ms), nil
+}
+
+func wrapModels(v *eval.View, ms []*interp.Interp) []*Model {
+	out := make([]*Model, len(ms))
+	for i, m := range ms {
+		out[i] = &Model{view: v, in: m}
+	}
+	return out
+}
+
+// InterpFromLiterals builds a Model-shaped interpretation from AST
+// literals for use with CheckModel and CheckAssumptionFree. Every atom
+// must be in the (relevant) Herbrand base.
+func (e *Engine) InterpFromLiterals(comp string, lits []ast.Literal) (*Model, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	in, err := interp.FromLiterals(e.gp.Tab, lits)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{view: v, in: in}, nil
+}
+
+// CheckModel reports whether m satisfies Definition 3 in m's component,
+// with a reason when it does not.
+func (e *Engine) CheckModel(m *Model) (bool, string) {
+	bad, why := m.view.ModelViolation(m.in)
+	return !bad, why
+}
+
+// CheckAssumptionFree reports whether m is an assumption-free model
+// (Definition 7 / Theorem 1(a)).
+func (e *Engine) CheckAssumptionFree(m *Model) bool {
+	return m.view.IsAssumptionFree(m.in)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"encoding/json"
+
+	"repro/internal/ast"
+)
+
+// ModelJSON is the serialisable form of a model: the true and false ground
+// atoms (rendered in the surface syntax) plus component metadata. Undefined
+// atoms are the remainder of the relevant Herbrand base.
+type ModelJSON struct {
+	Component string   `json:"component"`
+	True      []string `json:"true"`
+	False     []string `json:"false"`
+	Undefined []string `json:"undefined,omitempty"`
+	Total     bool     `json:"total"`
+}
+
+// JSON renders the model for machine consumption. includeUndefined adds
+// the undefined portion of the relevant base (can be large).
+func (m *Model) JSON(includeUndefined bool) ([]byte, error) {
+	out := ModelJSON{Component: m.ComponentName(), Total: m.Total()}
+	for _, l := range m.Literals() {
+		if l.Neg {
+			out.False = append(out.False, l.Atom.String())
+		} else {
+			out.True = append(out.True, l.Atom.String())
+		}
+	}
+	if includeUndefined {
+		tab := m.view.G.Tab
+		for _, id := range m.in.Undefined() {
+			out.Undefined = append(out.Undefined, tab.Atom(id).String())
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// BindingJSON renders query bindings as an array of name->term objects.
+func BindingsJSON(q ast.Query, bs []Binding) ([]byte, error) {
+	type row map[string]string
+	out := struct {
+		Query   string `json:"query"`
+		Answers []row  `json:"answers"`
+	}{Query: q.String(), Answers: []row{}}
+	for _, b := range bs {
+		r := make(row, len(b))
+		for k, v := range b {
+			r[k] = v.String()
+		}
+		out.Answers = append(out.Answers, r)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/interp"
+	"repro/internal/unify"
+)
+
+// Model is a (possibly partial) model of an ordered program in one
+// component: a consistent set of ground literals with three-valued reading.
+type Model struct {
+	view *eval.View
+	in   *interp.Interp
+}
+
+// Component returns the position of the component the model belongs to.
+func (m *Model) Component() int { return m.view.Comp }
+
+// ComponentName returns the name of the component the model belongs to.
+func (m *Model) ComponentName() string {
+	return m.view.G.Src.Components[m.view.Comp].Name
+}
+
+// Interp exposes the underlying interpretation.
+func (m *Model) Interp() *interp.Interp { return m.in }
+
+// Literals returns the member literals, sorted canonically.
+func (m *Model) Literals() []ast.Literal { return m.in.Literals() }
+
+// String renders the model as a sorted literal set.
+func (m *Model) String() string { return m.in.String() }
+
+// Len returns the number of member literals.
+func (m *Model) Len() int { return m.in.Len() }
+
+// Total reports whether every atom of the (relevant) Herbrand base is
+// defined.
+func (m *Model) Total() bool { return m.in.Total() }
+
+// Value returns the three-valued truth of a ground atom. Atoms outside the
+// relevant Herbrand base are Undef.
+func (m *Model) Value(a ast.Atom) interp.Value {
+	id, ok := m.view.G.Tab.Lookup(a)
+	if !ok {
+		return interp.Undef
+	}
+	return m.in.Value(id)
+}
+
+// Holds reports whether the ground literal is a member of the model.
+func (m *Model) Holds(l ast.Literal) bool {
+	id, ok := m.view.G.Tab.Lookup(l.Atom)
+	if !ok {
+		return false
+	}
+	return m.in.HasLit(interp.MkLit(id, l.Neg))
+}
+
+// Binding maps query variable names to ground terms.
+type Binding map[string]ast.Term
+
+// Query evaluates a conjunctive query against the model: each query
+// literal must be a member of the model under the binding (so -p(X) reads
+// "¬p(X) is known", not "p(X) is unknown") and the builtins must hold.
+// It returns one binding per solution, deduplicated, covering the query's
+// variables.
+func (m *Model) Query(q ast.Query) []Binding {
+	tab := m.view.G.Tab
+	// Index the model's literals by predicate and sign, lazily.
+	type key struct {
+		k   ast.PredKey
+		neg bool
+	}
+	index := make(map[key][]ast.Atom)
+	for _, l := range m.in.Lits() {
+		a := tab.Atom(l.Atom())
+		index[key{a.Key(), l.Neg()}] = append(index[key{a.Key(), l.Neg()}], a)
+	}
+	var out []Binding
+	seen := make(map[string]bool)
+	vars := q.Vars()
+	s := unify.NewSubst()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Body) {
+			for _, b := range q.Builtins {
+				gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+				holds, ok := ast.EvalBuiltin(gb)
+				if !ok || !holds {
+					return
+				}
+			}
+			bind := make(Binding, len(vars))
+			sig := ""
+			for _, v := range vars {
+				t := s.Apply(v)
+				bind[v.Name] = t
+				sig += "\x00" + t.String()
+			}
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, bind)
+			}
+			return
+		}
+		l := q.Body[i]
+		for _, cand := range index[key{l.Atom.Key(), l.Neg}] {
+			mark := s.Mark()
+			if unify.MatchAtoms(s, l.Atom, cand) {
+				rec(i + 1)
+			}
+			s.Undo(mark)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {
+	return ast.SubstituteExpr(e, func(v ast.Var) ast.Term {
+		t := s.Apply(v)
+		if tv, ok := t.(ast.Var); ok && tv.Name == v.Name {
+			return nil
+		}
+		return t
+	})
+}
+
+// Explain returns the Definition 2 statuses of every visible ground rule
+// whose head is on the given atom, as human-readable lines — a debugging
+// aid for understanding why a literal is (or is not) in the model.
+func (m *Model) Explain(a ast.Atom) []string {
+	tab := m.view.G.Tab
+	id, ok := tab.Lookup(a)
+	if !ok {
+		return []string{a.String() + ": not in the relevant Herbrand base"}
+	}
+	var out []string
+	v := m.view
+	for r := 0; r < v.NumRules(); r++ {
+		if v.Head(r).Atom() != id {
+			continue
+		}
+		st := v.Statuses(r, m.in)
+		line := v.G.RuleString(v.GroundRule(r)) + "  ["
+		line += "component " + v.G.Src.Components[v.RuleComp(r)].Name
+		if st.Applied {
+			line += ", applied"
+		} else if st.Applicable {
+			line += ", applicable"
+		}
+		if st.Blocked {
+			line += ", blocked"
+		}
+		if st.Overruled {
+			line += ", overruled"
+		}
+		if st.Defeated {
+			line += ", defeated"
+		}
+		line += "]"
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		out = []string{a.String() + ": no visible rules define it"}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/stable"
+)
+
+// bruteQuery evaluates a conjunctive query by enumerating every
+// substitution of its variables over the given constants — the obviously
+// correct reference for Model.Query.
+func bruteQuery(m *core.Model, q ast.Query, consts []ast.Term) []string {
+	vars := q.Vars()
+	var out []string
+	assign := make(map[string]ast.Term)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			bind := func(v ast.Var) ast.Term { return assign[v.Name] }
+			for _, l := range q.Body {
+				gl := ast.SubstituteLiteral(l, bind)
+				if !m.Holds(gl) {
+					return
+				}
+			}
+			for _, b := range q.Builtins {
+				gb := ast.Builtin{Op: b.Op, L: ast.SubstituteExpr(b.L, bind), R: ast.SubstituteExpr(b.R, bind)}
+				holds, ok := ast.EvalBuiltin(gb)
+				if !ok || !holds {
+					return
+				}
+			}
+			parts := make([]string, len(vars))
+			for j, v := range vars {
+				parts[j] = assign[v.Name].String()
+			}
+			out = append(out, strings.Join(parts, "|"))
+			return
+		}
+		for _, c := range consts {
+			assign[vars[i].Name] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.Strings(out)
+	return out
+}
+
+// TestQueryMatchesBruteForce cross-checks the join-based Query against the
+// brute-force reference on random fact bases and random queries.
+func TestQueryMatchesBruteForce(t *testing.T) {
+	queries := []string{
+		"?- e(X, Y).",
+		"?- e(X, Y), e(Y, Z).",
+		"?- e(X, X).",
+		"?- e(X, Y), -e(Y, X).",
+		"?- e(X, Y), X != Y.",
+		"?- -e(X, Y), e(Y, X).",
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		var sb strings.Builder
+		var consts []ast.Term
+		for i := 0; i < n; i++ {
+			consts = append(consts, ast.Sym(fmt.Sprintf("c%d", i)))
+		}
+		// Random positive and negative edge facts, kept consistent.
+		kind := make(map[string]int) // 0 unset, 1 pos, 2 neg
+		for k := 0; k < n*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			key := fmt.Sprintf("%d-%d", a, b)
+			if kind[key] != 0 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				kind[key] = 1
+				fmt.Fprintf(&sb, "e(c%d, c%d).\n", a, b)
+			} else {
+				kind[key] = 2
+				fmt.Fprintf(&sb, "-e(c%d, c%d).\n", a, b)
+			}
+		}
+		prog, err := parser.ParseProgram(sb.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.NewEngine(prog, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.LeastModel("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			res, err := parser.Parse(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := res.Queries[0]
+			want := bruteQuery(m, q, consts)
+			var got []string
+			for _, b := range m.Query(q) {
+				parts := make([]string, len(q.Vars()))
+				for j, v := range q.Vars() {
+					parts[j] = b[v.Name].String()
+				}
+				got = append(got, strings.Join(parts, "|"))
+			}
+			sort.Strings(got)
+			if strings.Join(got, ";") != strings.Join(want, ";") {
+				t.Fatalf("seed %d query %s:\n got %v\nwant %v\nfacts:\n%s", seed, qs, got, want, sb.String())
+			}
+		}
+	}
+}
+
+// TestProveQueryMatchesModelQuery: the goal-directed non-ground query
+// answers agree with joining against the materialised least model.
+func TestProveQueryMatchesModelQuery(t *testing.T) {
+	eng := engineOf(t, `
+parent(ann, bob). parent(bob, carl). parent(ann, dora).
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+`)
+	m, err := eng.LeastModel("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range []string{
+		"?- anc(ann, X).",
+		"?- anc(X, carl).",
+		"?- parent(X, Y), anc(Y, Z).",
+		"?- anc(X, Y), X != ann.",
+	} {
+		res, err := parser.Parse(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := res.Queries[0]
+		want := bindingsKey(q, m.Query(q))
+		proved, err := eng.ProveQuery("main", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bindingsKey(q, proved)
+		if got != want {
+			t.Errorf("%s:\n prove: %s\n model: %s", qs, got, want)
+		}
+	}
+}
+
+func bindingsKey(q ast.Query, bs []core.Binding) string {
+	var rows []string
+	for _, b := range bs {
+		parts := make([]string, 0, len(b))
+		for _, v := range q.Vars() {
+			parts = append(parts, v.Name+"="+b[v.Name].String())
+		}
+		rows = append(rows, strings.Join(parts, ","))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, ";")
+}
+
+// TestParallelStableFacade exercises the engine-level parallel entry point.
+func TestParallelStableFacade(t *testing.T) {
+	eng := engineOf(t, `
+module c2 { a. b. c. }
+module c1 extends c2 { -a :- b, c. -b :- a. -b :- -b. }
+`)
+	seq, err := eng.StableModels("c1", stableOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := eng.StableModelsParallel("c1", parallelOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel facade returned %d models, sequential %d", len(par), len(seq))
+	}
+	ss := modelSet(seq)
+	ps := modelSet(par)
+	if strings.Join(ss, ";") != strings.Join(ps, ";") {
+		t.Errorf("families differ: %v vs %v", ss, ps)
+	}
+}
+
+func modelSet(ms []*core.Model) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func stableOptions() stable.Options { return stable.Options{} }
+
+func parallelOptions(w int) stable.ParallelOptions {
+	return stable.ParallelOptions{Workers: w}
+}

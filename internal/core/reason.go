@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/proof"
+	"repro/internal/stable"
+	"repro/internal/unify"
+)
+
+// Prove answers a least-model membership query for one ground literal in
+// the component with the goal-directed proof procedure (no full model is
+// materialised). Literals over atoms outside the relevant Herbrand base
+// are unprovable.
+func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return false, err
+	}
+	if !l.Atom.Ground() {
+		return false, fmt.Errorf("core: Prove needs a ground literal, got %s", l)
+	}
+	id, ok := e.gp.Tab.Lookup(l.Atom)
+	if !ok {
+		return false, nil
+	}
+	if e.provers == nil {
+		e.provers = make(map[int]*proof.Prover)
+	}
+	pr, ok := e.provers[v.Comp]
+	if !ok {
+		pr = proof.New(v, 0)
+		e.provers[v.Comp] = pr
+	}
+	return pr.Prove(interp.MkLit(id, l.Neg))
+}
+
+// ProveExplain proves the literal goal-directedly and, on success, returns
+// the rendered derivation tree: the firing rule, its body subproofs, and
+// one blocking proof per competitor.
+func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return "", false, err
+	}
+	if !l.Atom.Ground() {
+		return "", false, fmt.Errorf("core: ProveExplain needs a ground literal, got %s", l)
+	}
+	id, ok := e.gp.Tab.Lookup(l.Atom)
+	if !ok {
+		return "", false, nil
+	}
+	if e.provers == nil {
+		e.provers = make(map[int]*proof.Prover)
+	}
+	pr, okp := e.provers[v.Comp]
+	if !okp {
+		pr = proof.New(v, 0)
+		e.provers[v.Comp] = pr
+	}
+	tree, ok, err := pr.Explain(interp.MkLit(id, l.Neg))
+	if err != nil || !ok {
+		return "", false, err
+	}
+	return tree.Render(pr), true, nil
+}
+
+// ProveQuery answers a conjunctive query goal-directedly: candidate
+// bindings come from matching each query literal against the relevant
+// Herbrand base, and every ground instance is checked with the prover, so
+// only the needed parts of the least model are computed. Builtins filter
+// as usual.
+func (e *Engine) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	if e.provers == nil {
+		e.provers = make(map[int]*proof.Prover)
+	}
+	pr, ok := e.provers[v.Comp]
+	if !ok {
+		pr = proof.New(v, 0)
+		e.provers[v.Comp] = pr
+	}
+	tab := e.gp.Tab
+	var out []Binding
+	seen := make(map[string]bool)
+	vars := q.Vars()
+	s := unify.NewSubst()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(q.Body) {
+			for _, b := range q.Builtins {
+				gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+				holds, okB := ast.EvalBuiltin(gb)
+				if !okB || !holds {
+					return nil
+				}
+			}
+			bind := make(Binding, len(vars))
+			sig := ""
+			for _, vv := range vars {
+				t := s.Apply(vv)
+				bind[vv.Name] = t
+				sig += "\x00" + t.String()
+			}
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, bind)
+			}
+			return nil
+		}
+		l := q.Body[i]
+		for _, id := range tab.OfPred(l.Atom.Key()) {
+			mark := s.Mark()
+			if unify.MatchAtoms(s, l.Atom, tab.Atom(id)) {
+				proved, err := pr.Prove(interp.MkLit(id, l.Neg))
+				if err != nil {
+					s.Undo(mark)
+					return err
+				}
+				if proved {
+					if err := rec(i + 1); err != nil {
+						s.Undo(mark)
+						return err
+					}
+				}
+			}
+			s.Undo(mark)
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Consequences holds cautious (every stable model) and brave (some stable
+// model) inference results for one component.
+type Consequences struct {
+	r   *stable.Reasoning
+	tab *interp.Table
+}
+
+// Reason enumerates the stable models of the component and returns its
+// cautious and brave consequences.
+func (e *Engine) Reason(comp string, opts stable.Options) (*Consequences, error) {
+	v, err := e.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	r, err := stable.Reason(v, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Consequences{r: r, tab: e.gp.Tab}, nil
+}
+
+// NumModels returns the number of stable models inspected.
+func (c *Consequences) NumModels() int { return c.r.NumModels }
+
+// Cautious reports whether the ground literal holds in every stable model.
+func (c *Consequences) Cautious(l ast.Literal) bool {
+	id, ok := c.tab.Lookup(l.Atom)
+	if !ok {
+		return false
+	}
+	return c.r.HoldsCautiously(interp.MkLit(id, l.Neg))
+}
+
+// Brave reports whether the ground literal holds in some stable model.
+func (c *Consequences) Brave(l ast.Literal) bool {
+	id, ok := c.tab.Lookup(l.Atom)
+	if !ok {
+		return false
+	}
+	return c.r.HoldsBravely(interp.MkLit(id, l.Neg))
+}
+
+// CautiousLiterals returns the cautious consequences as sorted literals.
+func (c *Consequences) CautiousLiterals() []ast.Literal { return c.r.Cautious.Literals() }

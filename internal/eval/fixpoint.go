@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+)
+
+// VOnce applies the ordered immediate transformation V once (Definition 4):
+// it returns the set of head literals of rules that are applicable and
+// neither overruled nor defeated w.r.t. in. The result is a fresh
+// interpretation; an inconsistent result (possible only for interpretations
+// that are not reachable from ∅) is reported as an error.
+func (v *View) VOnce(in *interp.Interp) (*interp.Interp, error) {
+	out := v.NewInterp()
+	for r := 0; r < len(v.heads); r++ {
+		if !v.Applicable(r, in) || v.Overruled(r, in) || v.Defeated(r, in) {
+			continue
+		}
+		if !out.AddLit(v.heads[r]) {
+			return nil, fmt.Errorf("eval: V produced inconsistent pair on %s", v.G.Tab.LitString(v.heads[r]))
+		}
+	}
+	return out, nil
+}
+
+// LeastModelNaive computes lfp(V) by iterating VOnce from the empty
+// interpretation. It is the reference implementation used to cross-check
+// the semi-naive engine.
+func (v *View) LeastModelNaive() (*interp.Interp, error) {
+	in := v.NewInterp()
+	for {
+		next, err := v.VOnce(in)
+		if err != nil {
+			return nil, err
+		}
+		// V is monotone (Lemma 1), so iterating from ∅ the stages grow;
+		// union keeps the code robust even on a non-inflationary step.
+		if next.SubsetOf(in) {
+			return in, nil
+		}
+		if !next.UnionWith(in) {
+			return nil, fmt.Errorf("eval: inconsistent V stage")
+		}
+		in = next
+	}
+}
+
+// FixpointStats reports work done by one semi-naive least-model run.
+type FixpointStats struct {
+	// Fired is the number of rules that fired (including duplicates
+	// deriving an already-present literal).
+	Fired int
+	// Derived is the number of distinct literals derived.
+	Derived int
+	// BlockEvents is the number of rules that became blocked.
+	BlockEvents int
+}
+
+// LeastModelStats computes lfp(V) like LeastModel and also reports
+// counters describing the run.
+func (v *View) LeastModelStats() (*interp.Interp, FixpointStats, error) {
+	var st FixpointStats
+	in, err := v.leastModel(&st)
+	return in, st, err
+}
+
+// LeastModel computes lfp(V) — the least model of the program in the view's
+// component (Proposition 1, Theorem 1(b)) — with a semi-naive algorithm.
+//
+// A rule fires when its unsatisfied-body count reaches zero and all its
+// overrulers and defeaters are blocked. Both events are monotone along the
+// fixpoint: adding literals can only satisfy more body literals and block
+// more competitors, so per-rule counters driven by a worklist of newly
+// derived literals compute the fixpoint in time linear in the total number
+// of body occurrences and competitor edges.
+func (v *View) LeastModel() (*interp.Interp, error) {
+	return v.leastModel(nil)
+}
+
+func (v *View) leastModel(stats *FixpointStats) (*interp.Interp, error) {
+	n := len(v.heads)
+	unsat := make([]int32, n)
+	unblocked := make([]int32, n)
+	blocked := make([]bool, n)
+	fired := make([]bool, n)
+	in := v.NewInterp()
+	var queue []interp.Lit
+
+	fire := func(r int) error {
+		if fired[r] {
+			return nil
+		}
+		fired[r] = true
+		if stats != nil {
+			stats.Fired++
+		}
+		h := v.heads[r]
+		if in.HasLit(h) {
+			return nil
+		}
+		if !in.AddLit(h) {
+			return fmt.Errorf("eval: least-model fixpoint derived inconsistent pair on %s", v.G.Tab.LitString(h))
+		}
+		if stats != nil {
+			stats.Derived++
+		}
+		queue = append(queue, h)
+		return nil
+	}
+
+	for r := 0; r < n; r++ {
+		unsat[r] = int32(len(v.bodies[r]))
+		unblocked[r] = int32(len(v.overrulers[r]) + len(v.defeaters[r]))
+	}
+	for r := 0; r < n; r++ {
+		if unsat[r] == 0 && unblocked[r] == 0 {
+			if err := fire(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for len(queue) > 0 {
+		lit := queue[0]
+		queue = queue[1:]
+		// The new literal satisfies body occurrences of itself...
+		for _, r := range v.bodyOcc[lit] {
+			unsat[r]--
+			if unsat[r] == 0 && unblocked[r] == 0 {
+				if err := fire(int(r)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// ...and blocks every rule with the complement in its body, which
+		// in turn releases the rules those threatened.
+		for _, r := range v.bodyOcc[lit.Complement()] {
+			if blocked[r] {
+				continue
+			}
+			blocked[r] = true
+			if stats != nil {
+				stats.BlockEvents++
+			}
+			for _, s := range v.threatened[r] {
+				unblocked[s]--
+				if unsat[s] == 0 && unblocked[s] == 0 {
+					if err := fire(int(s)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// TEnabled computes lfp(T) over the enabled version C^e_M — the applied
+// rules of ground(C*) w.r.t. m (Definition 8, Lemma 2). The result is
+// always a subset of m.
+func (v *View) TEnabled(m *interp.Interp) *interp.Interp {
+	// Collect applied rules once, then run a counter-based fixpoint over
+	// them treating literals as opaque tokens.
+	type arule struct {
+		head interp.Lit
+		body []interp.Lit
+	}
+	var applied []arule
+	for r := 0; r < len(v.heads); r++ {
+		if v.Applied(r, m) {
+			applied = append(applied, arule{v.heads[r], v.bodies[r]})
+		}
+	}
+	out := v.NewInterp()
+	occ := make(map[interp.Lit][]int32)
+	unsat := make([]int32, len(applied))
+	var queue []interp.Lit
+	add := func(l interp.Lit) {
+		if !out.HasLit(l) {
+			// Heads of applied rules are members of the consistent m, so
+			// AddLit cannot fail.
+			out.AddLit(l)
+			queue = append(queue, l)
+		}
+	}
+	for i, r := range applied {
+		unsat[i] = int32(len(r.body))
+		for _, l := range r.body {
+			occ[l] = append(occ[l], int32(i))
+		}
+		if len(r.body) == 0 {
+			add(r.head)
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, i := range occ[l] {
+			unsat[i]--
+			if unsat[i] == 0 {
+				add(applied[i].head)
+			}
+		}
+	}
+	return out
+}

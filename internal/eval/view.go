@@ -1,0 +1,225 @@
+// Package eval implements the declarative semantics of ordered logic
+// programs on ground instances: the rule statuses of Definition 2
+// (applicable, applied, blocked, overruled, defeated), the model conditions
+// of Definition 3, the ordered immediate transformation V of Definition 4
+// with naive and semi-naive least-fixpoint evaluation, the enabled-version
+// T operator of Definition 8, and the assumption-set machinery of
+// Definitions 6–7 (Laenens, Saccà, Vermeir, SIGMOD 1990).
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ground"
+	"repro/internal/interp"
+)
+
+// View is a grounded ordered program as seen from one target component C:
+// the rules of ground(C*) — the component's own rules plus all inherited
+// ones — with precomputed competitor relations.
+//
+// For a rule r, a rule r' with complementary head is an *overruler* when
+// C(r') < C(r) (a strictly more specific component) and a *defeater* when
+// C(r') = C(r) or the components are incomparable. Rules in strictly more
+// general components can do neither.
+type View struct {
+	G    *ground.Program
+	Comp int // target component position
+
+	// Per visible rule (dense local indexes).
+	heads  []interp.Lit
+	bodies [][]interp.Lit
+	comps  []int32
+	srcs   []*ground.Rule
+
+	overrulers [][]int32 // local rule indexes that can overrule r
+	defeaters  [][]int32 // local rule indexes that can defeat r
+
+	bodyOcc  map[interp.Lit][]int32 // one entry per body occurrence
+	headOf   map[interp.Lit][]int32
+	headAtom map[interp.AtomID][]int32
+	// threatened[r] lists the rules s that have r among their overrulers
+	// or defeaters (the reverse competitor relation).
+	threatened [][]int32
+}
+
+// NewView builds the view of g from the component at position comp.
+func NewView(g *ground.Program, comp int) *View {
+	if comp < 0 || comp >= g.NumComponents() {
+		panic(fmt.Sprintf("eval: component index %d out of range", comp))
+	}
+	v := &View{
+		G:        g,
+		Comp:     comp,
+		bodyOcc:  make(map[interp.Lit][]int32),
+		headOf:   make(map[interp.Lit][]int32),
+		headAtom: make(map[interp.AtomID][]int32),
+	}
+	visible := make(map[int]bool)
+	for _, j := range g.Src.Above(comp) {
+		visible[j] = true
+	}
+	for i := range g.Rules {
+		r := &g.Rules[i]
+		if !visible[int(r.Comp)] {
+			continue
+		}
+		li := int32(len(v.heads))
+		v.heads = append(v.heads, r.Head)
+		v.bodies = append(v.bodies, r.Body)
+		v.comps = append(v.comps, r.Comp)
+		v.srcs = append(v.srcs, r)
+		v.headOf[r.Head] = append(v.headOf[r.Head], li)
+		v.headAtom[r.Head.Atom()] = append(v.headAtom[r.Head.Atom()], li)
+		for _, l := range r.Body {
+			v.bodyOcc[l] = append(v.bodyOcc[l], li)
+		}
+	}
+	n := len(v.heads)
+	v.overrulers = make([][]int32, n)
+	v.defeaters = make([][]int32, n)
+	v.threatened = make([][]int32, n)
+	for r := 0; r < n; r++ {
+		for _, o := range v.headOf[v.heads[r].Complement()] {
+			cr, co := int(v.comps[r]), int(v.comps[o])
+			switch {
+			case v.G.Src.Less(co, cr):
+				v.overrulers[r] = append(v.overrulers[r], o)
+				v.threatened[o] = append(v.threatened[o], int32(r))
+			case !v.G.Src.Less(cr, co):
+				// Same component or incomparable: defeater.
+				v.defeaters[r] = append(v.defeaters[r], o)
+				v.threatened[o] = append(v.threatened[o], int32(r))
+			}
+		}
+	}
+	return v
+}
+
+// NewViewByName builds the view from the named component.
+func NewViewByName(g *ground.Program, name string) (*View, error) {
+	i, ok := g.Src.ComponentIndex(name)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown component %q", name)
+	}
+	return NewView(g, i), nil
+}
+
+// NumRules returns the number of visible ground rules.
+func (v *View) NumRules() int { return len(v.heads) }
+
+// Head returns the head literal of visible rule r.
+func (v *View) Head(r int) interp.Lit { return v.heads[r] }
+
+// Body returns the body literals of visible rule r (shared slice).
+func (v *View) Body(r int) []interp.Lit { return v.bodies[r] }
+
+// RuleComp returns the owning component position of visible rule r.
+func (v *View) RuleComp(r int) int { return int(v.comps[r]) }
+
+// GroundRule returns the underlying ground rule of visible rule r.
+func (v *View) GroundRule(r int) *ground.Rule { return v.srcs[r] }
+
+// NewInterp returns an empty interpretation over the view's atom table.
+func (v *View) NewInterp() *interp.Interp { return interp.New(v.G.Tab) }
+
+// Overrulers returns the local indexes of the rules that can overrule r
+// (complementary head in a strictly more specific component). Shared slice.
+func (v *View) Overrulers(r int) []int32 { return v.overrulers[r] }
+
+// Defeaters returns the local indexes of the rules that can defeat r
+// (complementary head in the same or an incomparable component). Shared
+// slice.
+func (v *View) Defeaters(r int) []int32 { return v.defeaters[r] }
+
+// HeadRules returns the local indexes of the visible rules with the given
+// head literal. Shared slice.
+func (v *View) HeadRules(l interp.Lit) []int32 { return v.headOf[l] }
+
+// Competitors returns the local indexes of every rule that can overrule or
+// defeat r. The slice is freshly allocated.
+func (v *View) Competitors(r int) []int32 {
+	out := make([]int32, 0, len(v.overrulers[r])+len(v.defeaters[r]))
+	out = append(out, v.overrulers[r]...)
+	return append(out, v.defeaters[r]...)
+}
+
+// Applicable reports B(r) ⊆ I (Definition 2).
+func (v *View) Applicable(r int, in *interp.Interp) bool {
+	for _, l := range v.bodies[r] {
+		if !in.HasLit(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Applied reports that r is applicable and H(r) ∈ I (Definition 2).
+func (v *View) Applied(r int, in *interp.Interp) bool {
+	return in.HasLit(v.heads[r]) && v.Applicable(r, in)
+}
+
+// Blocked reports that some body literal's complement is in I
+// (Definition 2).
+func (v *View) Blocked(r int, in *interp.Interp) bool {
+	for _, l := range v.bodies[r] {
+		if in.HasLit(l.Complement()) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overruled reports that a non-blocked rule with complementary head exists
+// in a strictly more specific component (Definition 2).
+func (v *View) Overruled(r int, in *interp.Interp) bool {
+	for _, o := range v.overrulers[r] {
+		if !v.Blocked(int(o), in) {
+			return true
+		}
+	}
+	return false
+}
+
+// OverruledByApplied reports that an *applied* rule with complementary head
+// exists in a strictly more specific component (the stronger overruling
+// demanded by Definition 3, condition (a)).
+func (v *View) OverruledByApplied(r int, in *interp.Interp) bool {
+	for _, o := range v.overrulers[r] {
+		if v.Applied(int(o), in) {
+			return true
+		}
+	}
+	return false
+}
+
+// Defeated reports that a non-blocked rule with complementary head exists
+// in the same or an incomparable component (Definition 2).
+func (v *View) Defeated(r int, in *interp.Interp) bool {
+	for _, d := range v.defeaters[r] {
+		if !v.Blocked(int(d), in) {
+			return true
+		}
+	}
+	return false
+}
+
+// Status bundles the Definition 2 statuses of one rule for diagnostics.
+type Status struct {
+	Applicable bool
+	Applied    bool
+	Blocked    bool
+	Overruled  bool
+	Defeated   bool
+}
+
+// Statuses returns all Definition 2 statuses of visible rule r w.r.t. in.
+func (v *View) Statuses(r int, in *interp.Interp) Status {
+	return Status{
+		Applicable: v.Applicable(r, in),
+		Applied:    v.Applied(r, in),
+		Blocked:    v.Blocked(r, in),
+		Overruled:  v.Overruled(r, in),
+		Defeated:   v.Defeated(r, in),
+	}
+}

@@ -1,0 +1,306 @@
+package ground
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/unify"
+)
+
+// Mode selects the grounding strategy.
+type Mode int
+
+const (
+	// ModeSmart instantiates only relevant instances (fireable rules plus
+	// their potential competitors); its atom table is the relevant
+	// Herbrand base. The default.
+	ModeSmart Mode = iota
+	// ModeFull instantiates every rule over the whole universe and interns
+	// the complete Herbrand base. Reference semantics; exponential in rule
+	// width.
+	ModeFull
+)
+
+// Options configures grounding.
+type Options struct {
+	Mode Mode
+	// MaxDepth bounds functor nesting in the Herbrand universe; -1 (the
+	// default through DefaultOptions) uses the deepest term in the program.
+	MaxDepth int
+	// MaxUniverse, MaxAtoms and MaxInstances are size budgets (0 = default).
+	MaxUniverse  int
+	MaxAtoms     int
+	MaxInstances int
+	// NoEDBSimplify disables the EDB/CWA competitor simplification in
+	// smart mode (ablation switch; results are unchanged, the competitor
+	// pass just materialises provably blocked instances too).
+	NoEDBSimplify bool
+}
+
+// DefaultOptions returns the default grounding configuration.
+func DefaultOptions() Options {
+	return Options{Mode: ModeSmart, MaxDepth: -1, MaxUniverse: 1 << 20, MaxAtoms: 1 << 21, MaxInstances: 1 << 22}
+}
+
+func (o *Options) fill() {
+	if o.MaxUniverse == 0 {
+		o.MaxUniverse = 1 << 20
+	}
+	if o.MaxAtoms == 0 {
+		o.MaxAtoms = 1 << 21
+	}
+	if o.MaxInstances == 0 {
+		o.MaxInstances = 1 << 22
+	}
+}
+
+// Rule is a ground rule instance over interned literals. Comp is the
+// position of the owning component in the source program; Src points to the
+// rule it instantiates.
+type Rule struct {
+	Head interp.Lit
+	Body []interp.Lit
+	Comp int32
+	Src  *ast.Rule
+}
+
+// Program is a grounded ordered program.
+type Program struct {
+	Src      *ast.OrderedProgram
+	Tab      *interp.Table
+	Rules    []Rule
+	Universe []ast.Term
+}
+
+// NumComponents returns the number of components of the source program.
+func (g *Program) NumComponents() int { return len(g.Src.Components) }
+
+// RuleString renders a ground rule instance for diagnostics.
+func (g *Program) RuleString(r *Rule) string {
+	var b strings.Builder
+	b.WriteString(g.Tab.LitString(r.Head))
+	if len(r.Body) > 0 {
+		b.WriteString(" :- ")
+		for i, l := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.Tab.LitString(l))
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Dump writes the ground program in a readable form: instances grouped by
+// component in source order, one rule per line, followed by a summary.
+func (g *Program) Dump(w io.Writer) error {
+	byComp := make([][]int, len(g.Src.Components))
+	for i := range g.Rules {
+		c := int(g.Rules[i].Comp)
+		byComp[c] = append(byComp[c], i)
+	}
+	for ci, c := range g.Src.Components {
+		if _, err := fmt.Fprintf(w, "%% component %s (%d instances)\n", c.Name, len(byComp[ci])); err != nil {
+			return err
+		}
+		lines := make([]string, 0, len(byComp[ci]))
+		for _, i := range byComp[ci] {
+			lines = append(lines, g.RuleString(&g.Rules[i]))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "%% %d instances over %d atoms\n", len(g.Rules), g.Tab.Len())
+	return err
+}
+
+// Ground instantiates the program. The source program must have been
+// validated (parser output always is).
+func Ground(p *ast.OrderedProgram, opts Options) (*Program, error) {
+	opts.fill()
+	uni, err := Universe(p, opts.MaxDepth, opts.MaxUniverse)
+	if err != nil {
+		return nil, err
+	}
+	g := &grounder{
+		src:  p,
+		opts: opts,
+		uni:  uni,
+		tab:  interp.NewTable(),
+		seen: make(map[string]bool),
+	}
+	switch opts.Mode {
+	case ModeFull:
+		err = g.full()
+	case ModeSmart:
+		err = g.smart()
+	default:
+		err = fmt.Errorf("ground: unknown mode %d", opts.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Src: p, Tab: g.tab, Rules: g.rules, Universe: uni}, nil
+}
+
+type grounder struct {
+	src   *ast.OrderedProgram
+	opts  Options
+	uni   []ast.Term
+	tab   *interp.Table
+	rules []Rule
+	seen  map[string]bool // dedup: component + canonical instance text
+	// factComps maps ground-fact atoms (canonical text) to the components
+	// asserting them; built by predShapes for the competitor pass.
+	factComps map[string][]int
+	// keyBuf is the reusable dedup-key scratch buffer.
+	keyBuf []byte
+}
+
+// instantiate builds the ground instance of r under subst, interning its
+// atoms directly, and records it unless a duplicate (per component) was
+// seen. Instances whose builtins fail are dropped. Returns an error only
+// on budget overrun or a non-ground instance (an internal bug).
+func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
+	for _, b := range r.Builtins {
+		gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+		holds, ok := ast.EvalBuiltin(gb)
+		if !ok || !holds {
+			return nil
+		}
+	}
+	headAtom := s.ApplyAtom(r.Head.Atom)
+	if !headAtom.Ground() {
+		return fmt.Errorf("ground: internal error: non-ground head %s of %s", headAtom, r)
+	}
+	head := interp.MkLit(g.tab.Intern(headAtom), r.Head.Neg)
+	var body []interp.Lit
+	if len(r.Body) > 0 {
+		body = make([]interp.Lit, len(r.Body))
+		for i, l := range r.Body {
+			a := s.ApplyAtom(l.Atom)
+			if !a.Ground() {
+				return fmt.Errorf("ground: internal error: non-ground body atom %s of %s", a, r)
+			}
+			body[i] = interp.MkLit(g.tab.Intern(a), l.Neg)
+		}
+	}
+	// Dedup on the interned encoding: component, head, body, packed as
+	// little-endian int32s into a string key.
+	g.keyBuf = g.keyBuf[:0]
+	g.keyBuf = appendInt32(g.keyBuf, int32(comp))
+	g.keyBuf = appendInt32(g.keyBuf, int32(head))
+	for _, l := range body {
+		g.keyBuf = appendInt32(g.keyBuf, int32(l))
+	}
+	key := string(g.keyBuf)
+	if g.seen[key] {
+		return nil
+	}
+	g.seen[key] = true
+	g.rules = append(g.rules, Rule{Head: head, Body: body, Comp: int32(comp), Src: r})
+	if g.tab.Len() > g.opts.MaxAtoms {
+		return &ErrBudget{"atom", g.opts.MaxAtoms}
+	}
+	if len(g.rules) > g.opts.MaxInstances {
+		return &ErrBudget{"instance", g.opts.MaxInstances}
+	}
+	return nil
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {
+	return ast.SubstituteExpr(e, func(v ast.Var) ast.Term {
+		t := s.Apply(v)
+		if tv, ok := t.(ast.Var); ok && tv.Name == v.Name {
+			return nil
+		}
+		return t
+	})
+}
+
+// full enumerates every substitution of every rule over the universe and
+// interns the complete Herbrand base.
+func (g *grounder) full() error {
+	for ci, c := range g.src.Components {
+		for _, r := range c.Rules {
+			vars := r.Vars()
+			if len(vars) == 0 {
+				if err := g.instantiate(ci, r, unify.NewSubst()); err != nil {
+					return err
+				}
+				continue
+			}
+			if len(g.uni) == 0 {
+				continue // variables but empty universe: no instances
+			}
+			s := unify.NewSubst()
+			var rec func(i int) error
+			rec = func(i int) error {
+				if i == len(vars) {
+					return g.instantiate(ci, r, s)
+				}
+				for _, t := range g.uni {
+					mark := s.Mark()
+					s.Bind(vars[i], t)
+					if err := rec(i + 1); err != nil {
+						return err
+					}
+					s.Undo(mark)
+				}
+				return nil
+			}
+			if err := rec(0); err != nil {
+				return err
+			}
+		}
+	}
+	// Intern the complete Herbrand base: every predicate over the universe.
+	for _, k := range g.src.Predicates() {
+		if err := g.internAllAtoms(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *grounder) internAllAtoms(k ast.PredKey) error {
+	if k.Arity == 0 {
+		g.tab.Intern(ast.Atom{Pred: k.Name})
+		return nil
+	}
+	if len(g.uni) == 0 {
+		return nil
+	}
+	args := make([]ast.Term, k.Arity)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == k.Arity {
+			g.tab.Intern(ast.Atom{Pred: k.Name, Args: append([]ast.Term(nil), args...)})
+			if g.tab.Len() > g.opts.MaxAtoms {
+				return &ErrBudget{"atom", g.opts.MaxAtoms}
+			}
+			return nil
+		}
+		for _, t := range g.uni {
+			args[i] = t
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}

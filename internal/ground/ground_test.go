@@ -1,0 +1,322 @@
+package ground
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.OrderedProgram {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUniverseConstantsOnly(t *testing.T) {
+	p := parse(t, "p(a, 2).\nq(b) :- p(b, X).\n")
+	u, err := Universe(p, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := termStrings(u); got != "2 a b" {
+		t.Errorf("universe = %q, want \"2 a b\"", got)
+	}
+}
+
+func termStrings(ts []ast.Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestUniverseEmptyProgram(t *testing.T) {
+	p := parse(t, "p :- q.\n")
+	u, err := Universe(p, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 0 {
+		t.Errorf("propositional program universe = %v, want empty", u)
+	}
+}
+
+func TestUniverseFreshConstant(t *testing.T) {
+	// Variables but no constants: the conventional u0 keeps it non-empty.
+	p := parse(t, "p(X) :- q(X).\n")
+	u, err := Universe(p, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if termStrings(u) != "u0" {
+		t.Errorf("universe = %v, want [u0]", u)
+	}
+}
+
+func TestUniverseFunctors(t *testing.T) {
+	p := parse(t, "p(f(a)).\n")
+	// Default depth: the deepest program term (1), so f(a) and f(f(a))
+	// is NOT constructible but f(a) is.
+	u, err := Universe(p, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := termStrings(u); got != "a f(a)" {
+		t.Errorf("universe depth default = %q", got)
+	}
+	u2, err := Universe(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := termStrings(u2); got != "a f(a) f(f(a))" {
+		t.Errorf("universe depth 2 = %q", got)
+	}
+	// Depth 0 keeps constants only.
+	u0, err := Universe(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := termStrings(u0); got != "a" {
+		t.Errorf("universe depth 0 = %q", got)
+	}
+}
+
+func TestUniverseBinaryFunctor(t *testing.T) {
+	p := parse(t, "p(g(a, b)).\n")
+	u, err := Universe(p, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, b and the four depth-1 terms g(x,y).
+	if len(u) != 6 {
+		t.Errorf("universe = %v, want 6 terms", u)
+	}
+}
+
+func TestUniverseBudget(t *testing.T) {
+	p := parse(t, "p(g(a, b)).\n")
+	if _, err := Universe(p, 3, 10); err == nil {
+		t.Error("budget not enforced")
+	} else if _, ok := err.(*ErrBudget); !ok {
+		t.Errorf("error type %T", err)
+	}
+}
+
+func TestGroundPropositional(t *testing.T) {
+	p := parse(t, "a.\nb :- a, -c.\n")
+	for _, mode := range []Mode{ModeSmart, ModeFull} {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		g, err := Ground(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2
+		if mode == ModeSmart {
+			// -c is underivable (no negative rules at all), so the rule
+			// b :- a, -c can never fire, competes with nothing, and is
+			// correctly dropped as semantically inert.
+			want = 1
+		} else if g.Tab.Len() != 3 {
+			t.Errorf("full mode interned %d atoms, want 3", g.Tab.Len())
+		}
+		if len(g.Rules) != want {
+			t.Errorf("mode %v: %d rules, want %d", mode, len(g.Rules), want)
+		}
+	}
+}
+
+func TestGroundInstantiation(t *testing.T) {
+	p := parse(t, "bird(tweety).\nbird(sam).\nfly(X) :- bird(X).\n")
+	opts := DefaultOptions()
+	opts.Mode = ModeFull
+	g, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 facts + 2 instances of the rule.
+	if len(g.Rules) != 4 {
+		t.Errorf("%d ground rules, want 4", len(g.Rules))
+	}
+	// Full Herbrand base: bird and fly over 2 constants.
+	if g.Tab.Len() != 4 {
+		t.Errorf("%d atoms, want 4", g.Tab.Len())
+	}
+}
+
+func TestGroundBuiltinsFilter(t *testing.T) {
+	p := parse(t, "n(1). n(2). n(3).\nbig(X) :- n(X), X > 1.\n")
+	g, err := Ground(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for i := range g.Rules {
+		if g.Tab.Atom(g.Rules[i].Head.Atom()).Pred == "big" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("big instances = %d, want 2", count)
+	}
+}
+
+func TestGroundDedupAcrossComponents(t *testing.T) {
+	// The same rule in two components yields two distinct instances
+	// (the paper treats them as distinct); within one component it is
+	// deduplicated.
+	p := parse(t, `
+module a { p. p. }
+module b { p. }
+order a < b.
+`)
+	g, err := Ground(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rules) != 2 {
+		t.Errorf("%d instances, want 2 (one per component)", len(g.Rules))
+	}
+}
+
+func TestGroundInstanceBudget(t *testing.T) {
+	p := parse(t, "e(a, b). e(b, c). e(c, d).\ntc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y).\n")
+	opts := DefaultOptions()
+	opts.Mode = ModeFull
+	opts.MaxInstances = 5
+	if _, err := Ground(p, opts); err == nil {
+		t.Error("instance budget not enforced")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	p := parse(t, "bird(tweety).\nfly(tweety) :- bird(tweety).\n")
+	g, err := Ground(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rule *Rule
+	for i := range g.Rules {
+		if len(g.Rules[i].Body) > 0 {
+			rule = &g.Rules[i]
+		}
+	}
+	if rule == nil {
+		t.Fatal("rule instance missing")
+	}
+	if got := g.RuleString(rule); got != "fly(tweety) :- bird(tweety)." {
+		t.Errorf("RuleString = %q", got)
+	}
+}
+
+func TestSmartKeepsNeverFireableCompetitors(t *testing.T) {
+	// The defining subtlety of ordered grounding: the rule -p :- q can
+	// never fire (q is underivable) but permanently defeats the fact p,
+	// so it must be retained.
+	p := parse(t, "p.\n-p :- q.\n")
+	g, err := Ground(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rules) != 2 {
+		t.Fatalf("smart grounding kept %d rules, want 2", len(g.Rules))
+	}
+}
+
+func TestSmartEDBSimplification(t *testing.T) {
+	// OV-shaped program: anc's recursive competitor instances must join
+	// parent against the facts instead of the whole universe.
+	p := parse(t, `
+module cwa {
+  -parent(X1, X2).
+  -anc(X1, X2).
+}
+module c {
+  parent(a, b). parent(b, c).
+  anc(X, Y) :- parent(X, Y).
+  anc(X, Y) :- parent(X, Z), anc(Z, Y).
+}
+order c < cwa.
+`)
+	g, err := Ground(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the simplification the recursive rule alone would have
+	// n^3 = 27 instances; with it, only parent-fact-supported ones.
+	recursive := 0
+	for i := range g.Rules {
+		if len(g.Rules[i].Body) == 2 {
+			recursive++
+		}
+	}
+	if recursive > 6 {
+		t.Errorf("recursive instances = %d; EDB simplification not applied", recursive)
+	}
+	// And the CWA facts still cover the full base of both predicates.
+	cwaFacts := 0
+	for i := range g.Rules {
+		if g.Rules[i].Head.Neg() && len(g.Rules[i].Body) == 0 {
+			cwaFacts++
+		}
+	}
+	if cwaFacts != 18 {
+		t.Errorf("CWA instances = %d, want 18 (2 preds x 9)", cwaFacts)
+	}
+}
+
+func TestTopComponentDetection(t *testing.T) {
+	p := parse(t, `
+module a { x. }
+module b { y. }
+module top { z. }
+order a < top.
+order b < top.
+`)
+	g := &grounder{src: p}
+	ti, ok := p.ComponentIndex("top")
+	if !ok {
+		t.Fatal("missing top")
+	}
+	if got := g.topComponent(); got != ti {
+		t.Errorf("topComponent = %d, want %d", got, ti)
+	}
+	// No unique top when two maximal components exist.
+	q := parse(t, `
+module a { x. }
+module b { y. }
+`)
+	g2 := &grounder{src: q}
+	if got := g2.topComponent(); got != -1 {
+		t.Errorf("topComponent = %d, want -1", got)
+	}
+}
+
+func TestIsUniversalNegFact(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"-p(X1, X2).", true},
+		{"-p.", true},
+		{"-p(X, X).", false}, // repeated variable: diagonal only
+		{"-p(a, X).", false}, // constant argument
+		{"-p(X) :- q(X).", false},
+		{"p(X1).", false}, // positive
+	}
+	for _, c := range cases {
+		r, err := parser.ParseRule(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := isUniversalNegFact(r); got != c.want {
+			t.Errorf("isUniversalNegFact(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}

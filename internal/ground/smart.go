@@ -1,0 +1,443 @@
+package ground
+
+import (
+	"repro/internal/ast"
+	"repro/internal/datalog"
+	"repro/internal/interp"
+	"repro/internal/storage"
+	"repro/internal/unify"
+)
+
+// domKey is the auxiliary unary predicate holding the Herbrand universe; it
+// binds variables that no body literal binds ("$" cannot appear in source
+// predicates, so there is no collision).
+var domKey = ast.PredKey{Name: "$dom", Arity: 1}
+
+// encKey maps a source predicate and a sign to the possible-atom relation:
+// "t:" relations over-approximate possibly-true atoms, "f:" relations
+// possibly-false ones.
+func encKey(k ast.PredKey, neg bool) ast.PredKey {
+	if neg {
+		return ast.PredKey{Name: "f:" + k.Name, Arity: k.Arity}
+	}
+	return ast.PredKey{Name: "t:" + k.Name, Arity: k.Arity}
+}
+
+// smart performs relevance-based grounding:
+//
+//  1. A Datalog fixpoint computes PT/PF, the possibly-true and
+//     possibly-false over-approximations, ignoring all overruling and
+//     defeating (which only ever remove derivations).
+//  2. The fireable pass instantiates each rule over PT/PF joins: these are
+//     the instances that can ever become applicable.
+//  3. The competitor pass instantiates, for every retained head literal L,
+//     the rules with head ¬L in components that can overrule or defeat an
+//     owner of L — exhaustively over the universe for variables the head
+//     match leaves open, because a competitor with an underivable body is
+//     still never blocked and therefore defeats forever.
+//
+// Every model-relevant instance is retained; the atom table is the
+// relevant Herbrand base (atoms omitted are undefined in every least,
+// assumption-free or stable model).
+func (g *grounder) smart() error {
+	st := storage.NewStore()
+	domRel := st.Rel(domKey)
+	for _, t := range g.uni {
+		domRel.Insert([]ast.Term{t})
+	}
+
+	type srcRule struct {
+		comp int
+		r    *ast.Rule
+		body []datalog.Lit // encoded body plus $dom literals for free vars
+	}
+	var srcs []srcRule
+	var dl []*datalog.Rule
+	for ci, c := range g.src.Components {
+		for _, r := range c.Rules {
+			bound := make(map[string]bool)
+			body := make([]datalog.Lit, 0, len(r.Body)+2)
+			for _, l := range r.Body {
+				body = append(body, datalog.Lit{Key: encKey(l.Atom.Key(), l.Neg), Args: l.Atom.Args})
+				for _, v := range l.Vars(nil) {
+					bound[v.Name] = true
+				}
+			}
+			for _, v := range r.Vars() {
+				if !bound[v.Name] {
+					bound[v.Name] = true
+					body = append(body, datalog.Lit{Key: domKey, Args: []ast.Term{v}})
+				}
+			}
+			head := datalog.Lit{Key: encKey(r.Head.Atom.Key(), r.Head.Neg), Args: r.Head.Atom.Args}
+			dl = append(dl, &datalog.Rule{Head: head, Body: body, Builtins: r.Builtins})
+			srcs = append(srcs, srcRule{comp: ci, r: r, body: body})
+		}
+	}
+	// Keep the possible-atom closure inside the depth-bounded universe:
+	// with function symbols a rule like num(s(X)) :- num(X) would
+	// otherwise diverge.
+	inUniverse := make(map[string]bool, len(g.uni))
+	for _, t := range g.uni {
+		inUniverse[t.String()] = true
+	}
+	filter := func(a ast.Atom) bool {
+		for _, t := range a.Args {
+			if !inUniverse[t.String()] {
+				return false
+			}
+		}
+		return true
+	}
+	if _, err := datalog.Eval(st, dl, datalog.Options{MaxDerived: g.opts.MaxAtoms, AtomFilter: filter}); err != nil {
+		if err == datalog.ErrBudget {
+			return &ErrBudget{"possible-atom", g.opts.MaxAtoms}
+		}
+		return err
+	}
+
+	// Fireable pass.
+	for _, sr := range srcs {
+		if err := g.joinInstantiate(st, sr.comp, sr.r, sr.body); err != nil {
+			return err
+		}
+	}
+
+	// Competitor pass. Snapshot the retained heads and the components that
+	// own instances of each head literal.
+	shapes := g.predShapes()
+	type target struct {
+		atom  ast.Atom
+		neg   bool
+		comps map[int32]bool
+	}
+	targets := make(map[interp.Lit]*target)
+	for i := range g.rules {
+		r := &g.rules[i]
+		t, ok := targets[r.Head]
+		if !ok {
+			t = &target{atom: g.tab.Atom(r.Head.Atom()), neg: r.Head.Neg(), comps: make(map[int32]bool)}
+			targets[r.Head] = t
+		}
+		t.comps[r.Comp] = true
+	}
+	scratch := unify.NewSubst()
+	for _, tg := range targets {
+		wantKey := tg.atom.Key()
+		wantNeg := !tg.neg // competitor head sign
+		for ci, c := range g.src.Components {
+			// A rule in component ci can overrule or defeat an instance in
+			// component cs iff cs is not strictly below ci.
+			relevant := false
+			for cs := range tg.comps {
+				if !g.src.Less(int(cs), ci) {
+					relevant = true
+					break
+				}
+			}
+			if !relevant {
+				continue
+			}
+			for _, r := range c.Rules {
+				if r.Head.Neg != wantNeg || r.Head.Atom.Key() != wantKey {
+					continue
+				}
+				mark := scratch.Mark()
+				if unify.MatchAtoms(scratch, r.Head.Atom, tg.atom) {
+					if err := g.emitCompetitors(st, shapes, ci, r, scratch); err != nil {
+						return err
+					}
+				}
+				scratch.Undo(mark)
+			}
+		}
+	}
+	return nil
+}
+
+// predShape records what the grounder knows about all rules defining one
+// predicate, across every component. When a predicate is pure EDB under a
+// globally-top closed-world component, competitor instances whose body
+// needs a non-fact atom of it are provably blocked in every model — the
+// blocking CWA literal is in the least model, which by Theorem 1(b) is
+// contained in every model — and can be dropped.
+type predShape struct {
+	onlyFactPos bool // every positive-head rule is a ground fact
+	topCWA      bool // a universal negative fact in a globally-top component
+	cwaComp     int
+	noOtherNeg  bool // no negative-head rules besides that CWA fact
+}
+
+// isUniversalNegFact reports whether r is ¬k(X1,...,Xn) with distinct
+// variable arguments and an empty body.
+func isUniversalNegFact(r *ast.Rule) bool {
+	if !r.Head.Neg || !r.IsFact() {
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, t := range r.Head.Atom.Args {
+		v, ok := t.(ast.Var)
+		if !ok || seen[v.Name] {
+			return false
+		}
+		seen[v.Name] = true
+	}
+	return true
+}
+
+// topComponent returns the position of the component strictly above every
+// other one, or -1.
+func (g *grounder) topComponent() int {
+	n := len(g.src.Components)
+	if n == 1 {
+		return -1
+	}
+	for cf := 0; cf < n; cf++ {
+		ok := true
+		for ci := 0; ci < n; ci++ {
+			if ci != cf && !g.src.Less(ci, cf) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cf
+		}
+	}
+	return -1
+}
+
+func (g *grounder) predShapes() map[ast.PredKey]*predShape {
+	shapes := make(map[ast.PredKey]*predShape)
+	get := func(k ast.PredKey) *predShape {
+		s, ok := shapes[k]
+		if !ok {
+			s = &predShape{onlyFactPos: true, noOtherNeg: true, cwaComp: -1}
+			shapes[k] = s
+		}
+		return s
+	}
+	top := g.topComponent()
+	g.factComps = make(map[string][]int)
+	for ci, c := range g.src.Components {
+		for _, r := range c.Rules {
+			k := r.Head.Atom.Key()
+			s := get(k)
+			if r.Head.Neg {
+				if ci == top && isUniversalNegFact(r) {
+					s.topCWA = true
+					s.cwaComp = ci
+				} else {
+					s.noOtherNeg = false
+				}
+			} else if !r.IsFact() || !r.Head.Atom.Ground() {
+				s.onlyFactPos = false
+			} else {
+				fk := r.Head.Atom.String()
+				g.factComps[fk] = append(g.factComps[fk], ci)
+			}
+		}
+	}
+	return shapes
+}
+
+// emitCompetitors instantiates the bodies of a head-matched competitor
+// rule. Positive body literals of EDB-with-CWA predicates join against the
+// facts (non-fact bindings are provably blocked); all other variables
+// range over the universe; instances satisfying a negative literal on a
+// fact of an EDB-with-CWA predicate in a visible-from-everywhere component
+// are dropped (provably blocked as well).
+func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst) error {
+	edb := func(k ast.PredKey) *predShape {
+		if g.opts.NoEDBSimplify {
+			return nil
+		}
+		sh := shapes[k]
+		if sh != nil && sh.onlyFactPos && sh.topCWA {
+			return sh
+		}
+		return nil
+	}
+	// Join items: positive EDB literals bind from the fact relation.
+	var joinLits []ast.Literal
+	for _, l := range r.Body {
+		if !l.Neg && edb(l.Atom.Key()) != nil {
+			joinLits = append(joinLits, l)
+		}
+	}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i < len(joinLits) {
+			l := joinLits[i]
+			rel := st.Peek(encKey(l.Atom.Key(), false))
+			if rel == nil {
+				return nil
+			}
+			pattern := make([]ast.Term, len(l.Atom.Args))
+			for j, t := range l.Atom.Args {
+				pattern[j] = s.Apply(t)
+			}
+			for _, ti := range rel.Candidates(pattern, 0) {
+				tup := rel.Tuple(ti)
+				mark := s.Mark()
+				ok := true
+				for j := range pattern {
+					if !unify.Match(s, pattern[j], tup[j]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if err := rec(i + 1); err != nil {
+						return err
+					}
+				}
+				s.Undo(mark)
+			}
+			return nil
+		}
+		// Remaining variables range over the universe.
+		var free []ast.Var
+		for _, v := range r.Vars() {
+			if _, isVar := s.Walk(v).(ast.Var); isVar {
+				free = append(free, v)
+			}
+		}
+		return g.enumerateFiltered(st, shapes, comp, r, s, free)
+	}
+	return rec(0)
+}
+
+// enumerateFiltered binds free variables over the universe and emits
+// instances, dropping those provably blocked in every model through a
+// satisfied negative literal on an everywhere-visible EDB fact.
+func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst, free []ast.Var) error {
+	emit := func() error {
+		for _, l := range r.Body {
+			if !l.Neg || g.opts.NoEDBSimplify {
+				continue
+			}
+			sh := shapes[l.Atom.Key()]
+			if sh == nil || !sh.onlyFactPos || !sh.topCWA || !sh.noOtherNeg {
+				continue
+			}
+			atom := s.ApplyAtom(l.Atom)
+			if !atom.Ground() {
+				continue
+			}
+			if g.blockedByVisibleFact(atom, comp, sh) {
+				return nil
+			}
+		}
+		return g.instantiate(comp, r, s)
+	}
+	if len(free) == 0 {
+		return emit()
+	}
+	if len(g.uni) == 0 {
+		return nil
+	}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(free) {
+			return emit()
+		}
+		for _, t := range g.uni {
+			mark := s.Mark()
+			s.Bind(free[i], t)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			s.Undo(mark)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// blockedByVisibleFact reports whether atom is a ground fact of its
+// EDB-with-CWA predicate in a component cb with comp <= cb < cwa — in
+// which case the fact is visible and undefeated in every view that sees
+// the competitor instance, so a negative literal on it blocks the instance
+// in every model.
+func (g *grounder) blockedByVisibleFact(atom ast.Atom, comp int, sh *predShape) bool {
+	for _, cb := range g.factComps[atom.String()] {
+		if cb == sh.cwaComp {
+			continue
+		}
+		if cb != comp && !g.src.Less(comp, cb) {
+			continue
+		}
+		if g.src.Less(cb, sh.cwaComp) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinInstantiate enumerates the substitutions satisfying the encoded body
+// over the possible-atom store and emits the corresponding instances.
+func (g *grounder) joinInstantiate(st *storage.Store, comp int, r *ast.Rule, body []datalog.Lit) error {
+	s := unify.NewSubst()
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(body) {
+			return g.instantiate(comp, r, s)
+		}
+		l := body[i]
+		rel := st.Peek(l.Key)
+		if rel == nil {
+			return nil
+		}
+		pattern := make([]ast.Term, len(l.Args))
+		for j, t := range l.Args {
+			pattern[j] = s.Apply(t)
+		}
+		for _, ti := range rel.Candidates(pattern, 0) {
+			tup := rel.Tuple(ti)
+			mark := s.Mark()
+			ok := true
+			for j := range pattern {
+				if !unify.Match(s, pattern[j], tup[j]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			s.Undo(mark)
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// enumerate binds the free variables over the universe and emits each
+// resulting instance.
+func (g *grounder) enumerate(comp int, r *ast.Rule, s *unify.Subst, free []ast.Var) error {
+	if len(free) == 0 {
+		return g.instantiate(comp, r, s)
+	}
+	if len(g.uni) == 0 {
+		return nil
+	}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(free) {
+			return g.instantiate(comp, r, s)
+		}
+		for _, t := range g.uni {
+			mark := s.Mark()
+			s.Bind(free[i], t)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			s.Undo(mark)
+		}
+		return nil
+	}
+	return rec(0)
+}

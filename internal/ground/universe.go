@@ -1,0 +1,134 @@
+// Package ground instantiates ordered programs: it computes a finite
+// Herbrand universe (depth-bounded in the presence of function symbols) and
+// produces the set of ground rule instances over interned atoms that the
+// evaluator runs on.
+//
+// Two modes are provided. ModeFull enumerates every instance over the full
+// universe and interns the complete Herbrand base: it is the reference
+// semantics, exact for arbitrary model checking, and exponential in rule
+// width. ModeSmart computes a Datalog over-approximation of the possibly-
+// true and possibly-false atoms and instantiates only instances that can
+// either fire or act as competitors (overrule/defeat) of firing rules; its
+// atom table is the *relevant* Herbrand base. For every atom it interns,
+// ModeSmart agrees with ModeFull on least, assumption-free and stable
+// models; atoms it omits are undefined in every such model.
+package ground
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// ErrBudget reports that grounding exceeded a configured size budget.
+type ErrBudget struct {
+	What  string
+	Limit int
+}
+
+// Error implements the error interface.
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("ground: %s budget exceeded (limit %d); raise the budget or simplify the program", e.What, e.Limit)
+}
+
+// Universe computes the Herbrand universe of the program: all constants
+// plus compound terms nested up to maxDepth. If maxDepth < 0 it defaults to
+// the maximum term depth occurring in the program, so every term written in
+// the program is constructible but no deeper ones. If the program uses
+// variables but has no constants, the conventional fresh constant "u0" is
+// added to keep the universe non-empty. A positive budget caps the universe
+// size.
+func Universe(p *ast.OrderedProgram, maxDepth int, budget int) ([]ast.Term, error) {
+	if maxDepth < 0 {
+		maxDepth = programTermDepth(p)
+	}
+	base := p.Constants()
+	if len(base) == 0 && programHasVars(p) {
+		base = []ast.Term{ast.Sym("u0")}
+	}
+	all := append([]ast.Term(nil), base...)
+	seen := make(map[string]bool, len(all))
+	for _, t := range all {
+		seen[t.String()] = true
+	}
+	functors := p.Functors()
+	for d := 1; d <= maxDepth && len(functors) > 0; d++ {
+		var next []ast.Term
+		for _, f := range functors {
+			args := make([]ast.Term, f.Arity)
+			// Enumerate argument tuples from `all`, requiring at least one
+			// argument from `prev` (depth d-1) so the compound has depth d.
+			var build func(i int, usedPrev bool) error
+			build = func(i int, usedPrev bool) error {
+				if i == f.Arity {
+					if !usedPrev {
+						return nil
+					}
+					c := ast.Compound{Functor: f.Name, Args: append([]ast.Term(nil), args...)}
+					k := c.String()
+					if seen[k] {
+						return nil
+					}
+					seen[k] = true
+					next = append(next, c)
+					if budget > 0 && len(seen) > budget {
+						return &ErrBudget{"universe", budget}
+					}
+					return nil
+				}
+				for _, t := range all {
+					args[i] = t
+					if err := build(i+1, usedPrev || ast.TermDepth(t) == d-1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := build(0, false); err != nil {
+				return nil, err
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		all = append(all, next...)
+	}
+	ast.SortTerms(all)
+	if budget > 0 && len(all) > budget {
+		return nil, &ErrBudget{"universe", budget}
+	}
+	return all, nil
+}
+
+func programTermDepth(p *ast.OrderedProgram) int {
+	max := 0
+	upd := func(t ast.Term) {
+		if d := ast.TermDepth(t); d > max {
+			max = d
+		}
+	}
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			for _, t := range r.Head.Atom.Args {
+				upd(t)
+			}
+			for _, l := range r.Body {
+				for _, t := range l.Atom.Args {
+					upd(t)
+				}
+			}
+		}
+	}
+	return max
+}
+
+func programHasVars(p *ast.OrderedProgram) bool {
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			if len(r.Vars()) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+// Package interp provides ground-atom interning and three-valued
+// interpretations represented as bitsets. All ground-level evaluation in
+// the engine runs on interned atom ids rather than on AST values.
+//
+// Following the paper, an interpretation I is a consistent set of ground
+// literals; a ground atom A has value True if A ∈ I, False if ¬A ∈ I and
+// Undef otherwise (the paper's Ī of undefined elements).
+package interp
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// AtomID identifies an interned ground atom.
+type AtomID int32
+
+// Lit is an interned ground literal: atom id with a sign bit in the lowest
+// position (even = positive, odd = negative).
+type Lit int32
+
+// MkLit builds a literal from an atom id and a negation flag.
+func MkLit(a AtomID, neg bool) Lit {
+	l := Lit(a) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Atom returns the literal's atom id.
+func (l Lit) Atom() AtomID { return AtomID(l >> 1) }
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Complement returns the complementary literal.
+func (l Lit) Complement() Lit { return l ^ 1 }
+
+// Table interns ground atoms. The zero value is not usable; call NewTable.
+type Table struct {
+	byKey map[string]AtomID
+	atoms []ast.Atom
+	preds map[ast.PredKey][]AtomID
+}
+
+// NewTable returns an empty atom table.
+func NewTable() *Table {
+	return &Table{byKey: make(map[string]AtomID), preds: make(map[ast.PredKey][]AtomID)}
+}
+
+// key builds the canonical encoding of a ground atom. Argument terms are
+// rendered with type tags so that the symbol "1" and the integer 1 differ.
+func key(a ast.Atom) string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	for _, t := range a.Args {
+		b.WriteByte('\x00')
+		writeTermKey(&b, t)
+	}
+	return b.String()
+}
+
+func writeTermKey(b *strings.Builder, t ast.Term) {
+	switch t := t.(type) {
+	case ast.Sym:
+		b.WriteByte('s')
+		b.WriteString(string(t))
+	case ast.Int:
+		b.WriteByte('i')
+		b.WriteString(t.String())
+	case ast.Compound:
+		b.WriteByte('c')
+		b.WriteString(t.Functor)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeTermKey(b, a)
+		}
+		b.WriteByte(')')
+	case ast.Var:
+		// Ground atoms never contain variables; tolerate for diagnostics.
+		b.WriteByte('v')
+		b.WriteString(t.Name)
+	}
+}
+
+// Intern returns the id for a ground atom, creating it if needed.
+func (t *Table) Intern(a ast.Atom) AtomID {
+	k := key(a)
+	if id, ok := t.byKey[k]; ok {
+		return id
+	}
+	id := AtomID(len(t.atoms))
+	t.byKey[k] = id
+	t.atoms = append(t.atoms, a)
+	pk := a.Key()
+	t.preds[pk] = append(t.preds[pk], id)
+	return id
+}
+
+// Lookup returns the id of a ground atom and whether it is interned.
+func (t *Table) Lookup(a ast.Atom) (AtomID, bool) {
+	id, ok := t.byKey[key(a)]
+	return id, ok
+}
+
+// Atom returns the atom for an id.
+func (t *Table) Atom(id AtomID) ast.Atom { return t.atoms[id] }
+
+// Len returns the number of interned atoms.
+func (t *Table) Len() int { return len(t.atoms) }
+
+// OfPred returns the ids of all interned atoms of a predicate, in
+// interning order. The returned slice is shared; do not modify.
+func (t *Table) OfPred(k ast.PredKey) []AtomID { return t.preds[k] }
+
+// Preds returns all predicate keys with at least one interned atom,
+// sorted by name then arity.
+func (t *Table) Preds() []ast.PredKey {
+	keys := make([]ast.PredKey, 0, len(t.preds))
+	for k := range t.preds {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Arity < keys[j].Arity
+	})
+	return keys
+}
+
+// LitString renders an interned literal using the table.
+func (t *Table) LitString(l Lit) string {
+	s := t.Atom(l.Atom()).String()
+	if l.Neg() {
+		return "-" + s
+	}
+	return s
+}

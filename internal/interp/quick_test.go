@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// refSet is a map-based reference implementation of a literal set used to
+// cross-check the bitset-backed Interp under random operation sequences.
+type refSet map[Lit]bool
+
+func (r refSet) consistent() bool {
+	for l := range r {
+		if r[l.Complement()] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickInterpMatchesReference drives random add/remove sequences and
+// compares every observable against the reference.
+func TestQuickInterpMatchesReference(t *testing.T) {
+	f := func(seed int64, nAtoms uint8, ops uint8) bool {
+		n := int(nAtoms%40) + 1
+		tab := NewTable()
+		for i := 0; i < n; i++ {
+			tab.Intern(ast.Atom{Pred: "p", Args: []ast.Term{ast.Int(int64(i))}})
+		}
+		rng := rand.New(rand.NewSource(seed))
+		in := New(tab)
+		ref := refSet{}
+		for k := 0; k < int(ops); k++ {
+			l := MkLit(AtomID(rng.Intn(n)), rng.Intn(2) == 0)
+			if rng.Intn(3) == 0 {
+				in.RemoveLit(l)
+				delete(ref, l)
+				continue
+			}
+			added := in.AddLit(l)
+			wouldConflict := ref[l.Complement()]
+			if added == wouldConflict && !ref[l] {
+				return false // AddLit must succeed iff no complement present
+			}
+			if added {
+				ref[l] = true
+			}
+		}
+		if !ref.consistent() {
+			return false // reference bookkeeping bug
+		}
+		if in.Len() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for _, neg := range []bool{false, true} {
+				l := MkLit(AtomID(i), neg)
+				if in.HasLit(l) != ref[l] {
+					return false
+				}
+			}
+		}
+		return in.Consistent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBitsetAlgebra checks set-algebra laws on random bitsets.
+func TestQuickBitsetAlgebra(t *testing.T) {
+	mk := func(seed int64, n int) *Bitset {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBitset(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		return b
+	}
+	f := func(s1, s2 int64, szRaw uint8) bool {
+		n := int(szRaw)%150 + 1
+		a, b := mk(s1, n), mk(s2, n)
+
+		// Union is an upper bound; intersection a lower bound.
+		u := a.Clone()
+		u.UnionWith(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		i := a.Clone()
+		i.IntersectWith(b)
+		if !i.SubsetOf(a) || !i.SubsetOf(b) {
+			return false
+		}
+		// |A| + |B| = |A∪B| + |A∩B|.
+		if a.Count()+b.Count() != u.Count()+i.Count() {
+			return false
+		}
+		// A \ B is disjoint from B and unions with A∩B back to A.
+		d := a.Clone()
+		d.DifferenceWith(b)
+		if d.Intersects(b) && d.Clone().Count() > 0 {
+			// Intersects is allowed to be true only when sharing a bit.
+			chk := d.Clone()
+			chk.IntersectWith(b)
+			if chk.Count() > 0 {
+				return false
+			}
+		}
+		back := d.Clone()
+		back.UnionWith(i)
+		if !back.Equal(a) {
+			return false
+		}
+		// Range visits exactly the set bits in order.
+		prev := -1
+		cnt := 0
+		ok := true
+		a.Range(func(x int) bool {
+			if x <= prev || !a.Get(x) {
+				ok = false
+				return false
+			}
+			prev = x
+			cnt++
+			return true
+		})
+		return ok && cnt == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInternStable: interning is injective and stable under
+// re-interning in shuffled order.
+func TestQuickInternStable(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewTable()
+		atoms := make([]ast.Atom, n)
+		ids := make([]AtomID, n)
+		for i := 0; i < n; i++ {
+			atoms[i] = ast.Atom{Pred: "q", Args: []ast.Term{ast.Int(int64(i)), ast.Sym("s")}}
+			ids[i] = tab.Intern(atoms[i])
+		}
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			if tab.Intern(atoms[i]) != ids[i] {
+				return false
+			}
+			if got, ok := tab.Lookup(atoms[i]); !ok || got != ids[i] {
+				return false
+			}
+			if !tab.Atom(ids[i]).Equal(atoms[i]) {
+				return false
+			}
+		}
+		return tab.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

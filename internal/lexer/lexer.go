@@ -1,0 +1,295 @@
+// Package lexer tokenises the .olp surface syntax for ordered logic
+// programs. The syntax is Prolog-like:
+//
+//	% line comment
+//	module c2 {
+//	  bird(penguin).
+//	  fly(X) :- bird(X).
+//	  -ground_animal(X) :- bird(X).
+//	}
+//	module c1 extends c2 {
+//	  ground_animal(penguin).
+//	  -fly(X) :- ground_animal(X).
+//	}
+//
+// Identifiers starting with a lower-case letter are predicate/constant
+// symbols; identifiers starting with an upper-case letter or '_' are
+// variables. Keywords (module, extends, order, not, mod) are contextual and
+// resolved by the parser.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF      Kind = iota
+	Ident         // lower-case identifier: predicates, constants, keywords
+	Variable      // upper-case or '_' identifier
+	Integer       // decimal integer literal
+	LParen        // (
+	RParen        // )
+	LBrace        // {
+	RBrace        // }
+	Comma         // ,
+	Dot           // .
+	Implies       // :-
+	Query         // ?-
+	Minus         // -
+	Plus          // +
+	Star          // *
+	Slash         // /
+	Lt            // <
+	Le            // <=
+	Gt            // >
+	Ge            // >=
+	Eq            // =
+	Ne            // !=
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Variable:
+		return "variable"
+	case Integer:
+		return "integer"
+	case LParen:
+		return "'('"
+	case RParen:
+		return "')'"
+	case LBrace:
+		return "'{'"
+	case RBrace:
+		return "'}'"
+	case Comma:
+		return "','"
+	case Dot:
+		return "'.'"
+	case Implies:
+		return "':-'"
+	case Query:
+		return "'?-'"
+	case Minus:
+		return "'-'"
+	case Plus:
+		return "'+'"
+	case Star:
+		return "'*'"
+	case Slash:
+		return "'/'"
+	case Lt:
+		return "'<'"
+	case Le:
+		return "'<='"
+	case Gt:
+		return "'>'"
+	case Ge:
+		return "'>='"
+	case Eq:
+		return "'='"
+	case Ne:
+		return "'!='"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Text != "" && (t.Kind == Ident || t.Kind == Variable || t.Kind == Integer) {
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokens scans the entire input, returning all tokens (excluding EOF).
+func Tokens(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+func (l *Lexer) peek() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *Lexer) advance() rune {
+	r, w := l.peek()
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r, _ := l.peek()
+		switch {
+		case r == '%':
+			for {
+				r, _ = l.peek()
+				if r == 0 || r == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentRest(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r, _ := l.peek()
+	mk := func(k Kind, text string) Token { return Token{Kind: k, Text: text, Line: line, Col: col} }
+	switch {
+	case r == 0:
+		return mk(EOF, ""), nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for {
+			r, _ := l.peek()
+			if !unicode.IsDigit(r) {
+				break
+			}
+			l.advance()
+		}
+		return mk(Integer, l.src[start:l.pos]), nil
+	case isIdentStart(r):
+		start := l.pos
+		for {
+			r, _ := l.peek()
+			if !isIdentRest(r) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		first, _ := utf8.DecodeRuneInString(text)
+		if first == '_' || unicode.IsUpper(first) {
+			return mk(Variable, text), nil
+		}
+		return mk(Ident, text), nil
+	}
+	l.advance()
+	switch r {
+	case '(':
+		return mk(LParen, "("), nil
+	case ')':
+		return mk(RParen, ")"), nil
+	case '{':
+		return mk(LBrace, "{"), nil
+	case '}':
+		return mk(RBrace, "}"), nil
+	case ',':
+		return mk(Comma, ","), nil
+	case '.':
+		return mk(Dot, "."), nil
+	case '+':
+		return mk(Plus, "+"), nil
+	case '*':
+		return mk(Star, "*"), nil
+	case '/':
+		return mk(Slash, "/"), nil
+	case '-':
+		return mk(Minus, "-"), nil
+	case '~': // accepted synonym for '-' (classical negation)
+		return mk(Minus, "~"), nil
+	case '=':
+		return mk(Eq, "="), nil
+	case '<':
+		if n, _ := l.peek(); n == '=' {
+			l.advance()
+			return mk(Le, "<="), nil
+		}
+		return mk(Lt, "<"), nil
+	case '>':
+		if n, _ := l.peek(); n == '=' {
+			l.advance()
+			return mk(Ge, ">="), nil
+		}
+		return mk(Gt, ">"), nil
+	case '!':
+		if n, _ := l.peek(); n == '=' {
+			l.advance()
+			return mk(Ne, "!="), nil
+		}
+		return Token{}, &Error{line, col, "unexpected '!' (did you mean '!=')"}
+	case ':':
+		if n, _ := l.peek(); n == '-' {
+			l.advance()
+			return mk(Implies, ":-"), nil
+		}
+		return Token{}, &Error{line, col, "unexpected ':' (did you mean ':-')"}
+	case '?':
+		if n, _ := l.peek(); n == '-' {
+			l.advance()
+			return mk(Query, "?-"), nil
+		}
+		return Token{}, &Error{line, col, "unexpected '?' (did you mean '?-')"}
+	}
+	return Token{}, &Error{line, col, fmt.Sprintf("unexpected character %q", r)}
+}

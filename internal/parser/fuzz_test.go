@@ -1,0 +1,105 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks two robustness invariants on arbitrary input: the
+// parser never panics, and everything it accepts round-trips through the
+// canonical printer to an equal program.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"a.",
+		"p(X) :- q(X).",
+		"-p(a, f(b, 2)) :- q(X), X > 1 + 2.",
+		"module m { a. }",
+		"module c1 extends c2 { -fly(X) :- ga(X). }\nmodule c2 { fly(X) :- bird(X). }",
+		"order a < b.",
+		"?- p(X), X != a.",
+		"p :- not q.",
+		"t :- a(X), X mod 2 = 1.",
+		"% comment\na.",
+		"p(f(g(h(a)))).",
+		"module m extends m { a. }",
+		"p :- .",
+		"p(",
+		"~x.",
+		"a :- 1 < 2.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := res.Program.String()
+		for _, q := range res.Queries {
+			printed += q.String() + "\n"
+		}
+		res2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("round trip failed to parse:\ninput: %q\nprinted: %q\nerr: %v", src, printed, err)
+		}
+		printed2 := res2.Program.String()
+		for _, q := range res2.Queries {
+			printed2 += q.String() + "\n"
+		}
+		if printed != printed2 {
+			t.Fatalf("printer not idempotent:\nfirst:  %q\nsecond: %q", printed, printed2)
+		}
+	})
+}
+
+// FuzzParseRule does the same for single clauses.
+func FuzzParseRule(f *testing.F) {
+	for _, s := range []string{
+		"a.", "p(X) :- q(X).", "-p :- q, -r.", "t :- a(X), X > -3.",
+		"p(f(a, g(b))).", "x :- y, 1 = 1.",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRule(src)
+		if err != nil {
+			return
+		}
+		r2, err := ParseRule(r.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %q -> %q: %v", src, r.String(), err)
+		}
+		if r.String() != r2.String() {
+			t.Fatalf("printer not idempotent: %q vs %q", r.String(), r2.String())
+		}
+	})
+}
+
+// TestPrinterIdempotentOnCorpus runs the fuzz property over a fixed corpus
+// so it executes in ordinary test runs too.
+func TestPrinterIdempotentOnCorpus(t *testing.T) {
+	corpus := []string{
+		"module c2 {\n  bird(penguin).\n  fly(X) :- bird(X).\n}\nmodule c1 extends c2 {\n  -fly(X) :- ground_animal(X).\n}\n",
+		"take_loan :- inflation(X), loan_rate(Y), X > Y + 2.\n",
+		"p(f(X)) :- q(X), not r(X), X >= 0.\n?- p(Y).\n",
+	}
+	for _, src := range corpus {
+		res, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := res.Program.String()
+		res2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if !strings.Contains(printed, "module") && len(res.Program.Components) != len(res2.Program.Components) {
+			t.Error("component count changed")
+		}
+		if printed != res2.Program.String() {
+			t.Errorf("printer not idempotent for %q", src)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package repl implements the interactive shell behind "ordlog -i": a
+// small knowledge-base console in the spirit the paper's conclusion
+// sketches. It keeps a mutable program (facts can be asserted into
+// components), re-grounds lazily, and answers queries, membership checks,
+// proofs and model requests.
+//
+// Commands (one per line):
+//
+//	?- <literals>.          query against the current least model
+//	assert <comp> <clause>  add a clause to a component
+//	least [comp]            print the least model
+//	stable [comp]           print the stable models
+//	cautious [comp]         print the cautious consequences
+//	prove <literal>         goal-directed proof with derivation tree
+//	explain <atom>          rule statuses around an atom
+//	component <name>        set the default component
+//	analyze                 static diagnostics over the current program
+//	ground                  dump the ground program
+//	stats                   grounding statistics
+//	list                    print the current program
+//	help                    this text
+//	quit                    leave
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/stable"
+)
+
+// REPL is an interactive session over one ordered program.
+type REPL struct {
+	prog   *ast.OrderedProgram
+	eng    *core.Engine // nil when dirty
+	comp   string       // default component ("" = engine default)
+	out    io.Writer
+	cfg    core.Config
+	prompt string
+}
+
+// New returns a session over the program (which may be empty).
+func New(prog *ast.OrderedProgram, cfg core.Config, out io.Writer) *REPL {
+	return &REPL{prog: prog, cfg: cfg, out: out, prompt: "> "}
+}
+
+// Run reads commands until EOF or quit.
+func (r *REPL) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(r.out, r.prompt)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := r.Exec(line); quit {
+				return nil
+			}
+		}
+		fmt.Fprint(r.out, r.prompt)
+	}
+	return sc.Err()
+}
+
+// Exec runs one command line; it returns true on quit.
+func (r *REPL) Exec(line string) bool {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(r.out, "error: internal panic: %v\n", p)
+		}
+	}()
+	switch {
+	case line == "quit" || line == "exit":
+		return true
+	case line == "help":
+		r.help()
+	case line == "stats":
+		r.stats()
+	case line == "list":
+		fmt.Fprint(r.out, r.prog.String())
+	case line == "analyze":
+		for _, d := range analyze.Program(r.prog) {
+			fmt.Fprintln(r.out, d)
+		}
+	case line == "ground":
+		eng, err := r.engine()
+		if err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return false
+		}
+		if err := eng.Grounded().Dump(r.out); err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+		}
+	case strings.HasPrefix(line, "?-"):
+		r.query(line)
+	case strings.HasPrefix(line, "assert "):
+		r.assert(strings.TrimPrefix(line, "assert "))
+	case line == "least" || strings.HasPrefix(line, "least "):
+		r.least(strings.TrimSpace(strings.TrimPrefix(line, "least")))
+	case line == "stable" || strings.HasPrefix(line, "stable "):
+		r.stable(strings.TrimSpace(strings.TrimPrefix(line, "stable")))
+	case line == "cautious" || strings.HasPrefix(line, "cautious "):
+		r.cautious(strings.TrimSpace(strings.TrimPrefix(line, "cautious")))
+	case strings.HasPrefix(line, "prove "):
+		r.prove(strings.TrimSpace(strings.TrimPrefix(line, "prove ")))
+	case strings.HasPrefix(line, "explain "):
+		r.explain(strings.TrimSpace(strings.TrimPrefix(line, "explain ")))
+	case strings.HasPrefix(line, "component "):
+		r.comp = strings.TrimSpace(strings.TrimPrefix(line, "component "))
+		fmt.Fprintf(r.out, "default component: %s\n", r.comp)
+	default:
+		fmt.Fprintf(r.out, "error: unknown command %q (try help)\n", line)
+	}
+	return false
+}
+
+func (r *REPL) help() {
+	fmt.Fprint(r.out, `commands:
+  ?- <literals>.          query the least model
+  assert <comp> <clause>  add a clause to a component
+  least | stable | cautious [comp]
+  prove <literal>         goal-directed proof
+  explain <atom>          rule statuses
+  component <name>        set default component
+  analyze                 static diagnostics
+  ground                  dump the ground program
+  stats | list | help | quit
+`)
+}
+
+func (r *REPL) engine() (*core.Engine, error) {
+	if r.eng != nil {
+		return r.eng, nil
+	}
+	eng, err := core.NewEngine(r.prog, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.eng = eng
+	return eng, nil
+}
+
+func (r *REPL) compOr(arg string) string {
+	if arg != "" {
+		return arg
+	}
+	return r.comp
+}
+
+func (r *REPL) query(line string) {
+	res, err := parser.Parse(line)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	if len(res.Queries) != 1 {
+		fmt.Fprintln(r.out, "error: expected exactly one query")
+		return
+	}
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	m, err := eng.LeastModel(r.comp)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	q := res.Queries[0]
+	answers := m.Query(q)
+	if len(answers) == 0 {
+		fmt.Fprintln(r.out, "no")
+		return
+	}
+	vars := q.Vars()
+	if len(vars) == 0 {
+		fmt.Fprintln(r.out, "yes")
+		return
+	}
+	for _, b := range answers {
+		parts := make([]string, 0, len(vars))
+		for _, v := range vars {
+			parts = append(parts, v.Name+" = "+b[v.Name].String())
+		}
+		fmt.Fprintln(r.out, strings.Join(parts, ", "))
+	}
+}
+
+func (r *REPL) assert(rest string) {
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		fmt.Fprintln(r.out, "error: usage: assert <component> <clause>")
+		return
+	}
+	comp, clause := fields[0], fields[1]
+	rule, err := parser.ParseRule(clause)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	c := r.prog.Component(comp)
+	if c == nil {
+		fmt.Fprintf(r.out, "error: unknown component %q\n", comp)
+		return
+	}
+	c.AddRule(rule)
+	r.eng = nil // re-ground lazily
+	fmt.Fprintf(r.out, "added to %s: %s\n", comp, rule)
+}
+
+func (r *REPL) least(comp string) {
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	m, err := eng.LeastModel(r.compOr(comp))
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintln(r.out, m)
+}
+
+func (r *REPL) stable(comp string) {
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	ms, err := eng.StableModels(r.compOr(comp), stable.Options{})
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	for i, m := range ms {
+		fmt.Fprintf(r.out, "%d: %s\n", i+1, m)
+	}
+}
+
+func (r *REPL) cautious(comp string) {
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	cons, err := eng.Reason(r.compOr(comp), stable.Options{})
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(r.out, "over %d stable models:\n", cons.NumModels())
+	for _, l := range cons.CautiousLiterals() {
+		fmt.Fprintln(r.out, "  "+l.String())
+	}
+}
+
+func (r *REPL) prove(arg string) {
+	lit, err := parser.ParseLiteral(strings.TrimSuffix(arg, "."))
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	tree, ok, err := eng.ProveExplain(r.comp, lit)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	if !ok {
+		fmt.Fprintln(r.out, "no")
+		return
+	}
+	fmt.Fprint(r.out, tree)
+}
+
+func (r *REPL) explain(arg string) {
+	lit, err := parser.ParseLiteral(strings.TrimSuffix(arg, "."))
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	m, err := eng.LeastModel(r.comp)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(r.out, "%s has value %s\n", lit.Atom, m.Value(lit.Atom))
+	for _, line := range m.Explain(lit.Atom) {
+		fmt.Fprintln(r.out, "  "+line)
+	}
+}
+
+func (r *REPL) stats() {
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	fmt.Fprintf(r.out, "components: %d, ground rules: %d, relevant atoms: %d\n",
+		len(r.prog.Components), eng.NumGroundRules(), eng.NumAtoms())
+}

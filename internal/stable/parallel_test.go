@@ -1,0 +1,99 @@
+package stable_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/stable"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSequential: the parallel enumeration returns exactly
+// the sequential family on random ordered programs.
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.RandomOrdered(rng, 1+rng.Intn(3), workload.RandomConfig{
+			Atoms: 5, Rules: 9, MaxBody: 2, NegHeads: true, NegBody: true,
+		})
+		g, err := ground.Ground(p, ground.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range p.Components {
+			v := eval.NewView(g, ci)
+			seq, err := stable.AssumptionFreeModels(v, stable.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := stable.AssumptionFreeModelsParallel(v, stable.ParallelOptions{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, ps := modelStrings(seq), modelStrings(par)
+			if len(ss) != len(ps) {
+				t.Fatalf("seed %d comp %d: sizes differ: %d vs %d", seed, ci, len(ss), len(ps))
+			}
+			for i := range ss {
+				if ss[i] != ps[i] {
+					t.Fatalf("seed %d comp %d: families differ:\nseq: %v\npar: %v", seed, ci, ss, ps)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWinMove: the parallel stable search solves win-move cycles
+// identically.
+func TestParallelWinMove(t *testing.T) {
+	for _, n := range []int{4, 5, 8} {
+		ov, err := transform.OV("c", workload.WinMove(workload.CycleEdges(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ground.Ground(ov, ground.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := eval.NewViewByName(g, "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := stable.StableModels(v, stable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := stable.StableModelsParallel(v, stable.ParallelOptions{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, ps := modelStrings(seq), modelStrings(par)
+		if len(ss) != len(ps) {
+			t.Fatalf("cycle %d: %d vs %d stable models", n, len(ss), len(ps))
+		}
+		for i := range ss {
+			if ss[i] != ps[i] {
+				t.Fatalf("cycle %d: stable families differ", n)
+			}
+		}
+	}
+}
+
+// TestParallelSingleWorkerFallsBack exercises the sequential fallback.
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	v := view(t, "module c2 { a. }\nmodule c1 extends c2 { -a :- a. }\n", "c1")
+	par, err := stable.AssumptionFreeModelsParallel(v, stable.ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := stable.AssumptionFreeModels(v, stable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Errorf("fallback differs: %d vs %d", len(par), len(seq))
+	}
+}

@@ -1,0 +1,193 @@
+// Package storage implements the in-memory extensional store: ground
+// relations with per-column hash indexes, plus a Store keyed by predicate.
+// It is the substrate under the grounder's possible-atom fixpoint and under
+// the classical Datalog baselines.
+package storage
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// termKey returns a canonical string for a ground term, used as index key.
+func termKey(t ast.Term) string {
+	var b strings.Builder
+	writeTermKey(&b, t)
+	return b.String()
+}
+
+func writeTermKey(b *strings.Builder, t ast.Term) {
+	switch t := t.(type) {
+	case ast.Sym:
+		b.WriteByte('s')
+		b.WriteString(string(t))
+	case ast.Int:
+		b.WriteByte('i')
+		b.WriteString(t.String())
+	case ast.Compound:
+		b.WriteByte('c')
+		b.WriteString(t.Functor)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeTermKey(b, a)
+		}
+		b.WriteByte(')')
+	case ast.Var:
+		b.WriteByte('v')
+		b.WriteString(t.Name)
+	}
+}
+
+func tupleKey(args []ast.Term) string {
+	var b strings.Builder
+	for i, t := range args {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		writeTermKey(&b, t)
+	}
+	return b.String()
+}
+
+// Relation is a set of ground tuples of fixed arity with one hash index per
+// column. Tuples are append-only.
+type Relation struct {
+	arity  int
+	tuples [][]ast.Term
+	seen   map[string]int // tuple key -> index in tuples
+	cols   []map[string][]int
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	r := &Relation{arity: arity, seen: make(map[string]int)}
+	r.cols = make([]map[string][]int, arity)
+	for i := range r.cols {
+		r.cols[i] = make(map[string][]int)
+	}
+	return r
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a ground tuple; it reports whether the tuple was new.
+func (r *Relation) Insert(args []ast.Term) bool {
+	if len(args) != r.arity {
+		panic("storage: tuple arity mismatch")
+	}
+	k := tupleKey(args)
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	idx := len(r.tuples)
+	r.seen[k] = idx
+	r.tuples = append(r.tuples, args)
+	for c, t := range args {
+		ck := termKey(t)
+		r.cols[c][ck] = append(r.cols[c][ck], idx)
+	}
+	return true
+}
+
+// Contains reports whether the ground tuple is present.
+func (r *Relation) Contains(args []ast.Term) bool {
+	_, ok := r.seen[tupleKey(args)]
+	return ok
+}
+
+// Tuple returns the i-th tuple (insertion order). The slice is shared.
+func (r *Relation) Tuple(i int) []ast.Term { return r.tuples[i] }
+
+// Candidates returns tuple indexes to examine for a pattern whose arguments
+// may contain variables: if some pattern argument is ground, the smallest
+// matching column index bucket is returned, otherwise all tuple indexes
+// from lo (inclusive) onward. lo supports delta scans over the append-only
+// tuple list. The returned indexes are not guaranteed to match; callers
+// must still Match.
+func (r *Relation) Candidates(pattern []ast.Term, lo int) []int {
+	best := -1
+	var bestBucket []int
+	for c := 0; c < r.arity && c < len(pattern); c++ {
+		if pattern[c] == nil || !pattern[c].Ground() {
+			continue
+		}
+		bucket := r.cols[c][termKey(pattern[c])]
+		if best == -1 || len(bucket) < len(bestBucket) {
+			best = c
+			bestBucket = bucket
+		}
+	}
+	if best >= 0 {
+		if lo == 0 {
+			return bestBucket
+		}
+		out := make([]int, 0, len(bestBucket))
+		for _, i := range bestBucket {
+			if i >= lo {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, len(r.tuples)-lo)
+	for i := lo; i < len(r.tuples); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Store is a set of relations keyed by predicate.
+type Store struct {
+	rels map[ast.PredKey]*Relation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rels: make(map[ast.PredKey]*Relation)} }
+
+// Rel returns the relation for key, creating it if needed.
+func (s *Store) Rel(k ast.PredKey) *Relation {
+	r, ok := s.rels[k]
+	if !ok {
+		r = NewRelation(k.Arity)
+		s.rels[k] = r
+	}
+	return r
+}
+
+// Peek returns the relation for key or nil without creating it.
+func (s *Store) Peek(k ast.PredKey) *Relation { return s.rels[k] }
+
+// InsertAtom adds a ground atom to the store; it reports whether it was new.
+func (s *Store) InsertAtom(a ast.Atom) bool { return s.Rel(a.Key()).Insert(a.Args) }
+
+// ContainsAtom reports whether the ground atom is present.
+func (s *Store) ContainsAtom(a ast.Atom) bool {
+	r := s.rels[a.Key()]
+	return r != nil && r.Contains(a.Args)
+}
+
+// Size returns the total number of tuples across relations.
+func (s *Store) Size() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Keys returns the predicate keys with a (possibly empty) relation.
+func (s *Store) Keys() []ast.PredKey {
+	out := make([]ast.PredKey, 0, len(s.rels))
+	for k := range s.rels {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func tup(names ...string) []ast.Term {
+	out := make([]ast.Term, len(names))
+	for i, n := range names {
+		out[i] = ast.Sym(n)
+	}
+	return out
+}
+
+func TestRelationInsertDedup(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Insert(tup("a", "b")) {
+		t.Error("first insert rejected")
+	}
+	if r.Insert(tup("a", "b")) {
+		t.Error("duplicate insert accepted")
+	}
+	if !r.Insert(tup("b", "a")) {
+		t.Error("permuted tuple rejected")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(tup("a", "b")) || r.Contains(tup("a", "a")) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestRelationKeyInjective(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert([]ast.Term{ast.Sym("a"), ast.Sym("b")})
+	// A tuple whose rendering could collide must still be distinct.
+	if r.Contains([]ast.Term{ast.Sym("a\x00b"), ast.Sym("")}) {
+		t.Error("tuple key not injective")
+	}
+	r2 := NewRelation(1)
+	r2.Insert([]ast.Term{ast.Int(1)})
+	if r2.Contains([]ast.Term{ast.Sym("1")}) {
+		t.Error("int/symbol collision")
+	}
+}
+
+func TestCandidatesIndexSelection(t *testing.T) {
+	r := NewRelation(2)
+	for i := 0; i < 10; i++ {
+		r.Insert([]ast.Term{ast.Sym("x"), ast.Int(int64(i))})
+	}
+	r.Insert(tup("y", "z"))
+	// Bound second column: the bucket has exactly one candidate.
+	cand := r.Candidates([]ast.Term{ast.Var{Name: "A"}, ast.Int(3)}, 0)
+	if len(cand) != 1 {
+		t.Errorf("bound-column candidates = %v", cand)
+	}
+	// Bound first column picks the smaller bucket between the two.
+	cand = r.Candidates([]ast.Term{ast.Sym("y"), ast.Sym("z")}, 0)
+	if len(cand) != 1 {
+		t.Errorf("two-bound candidates = %d, want the smaller bucket (1)", len(cand))
+	}
+	// Unbound pattern scans everything.
+	cand = r.Candidates([]ast.Term{ast.Var{Name: "A"}, ast.Var{Name: "B"}}, 0)
+	if len(cand) != 11 {
+		t.Errorf("full scan = %d", len(cand))
+	}
+}
+
+func TestCandidatesDelta(t *testing.T) {
+	r := NewRelation(1)
+	for i := 0; i < 5; i++ {
+		r.Insert([]ast.Term{ast.Int(int64(i))})
+	}
+	// lo=3 restricts to the tuples inserted at index >= 3.
+	cand := r.Candidates([]ast.Term{ast.Var{Name: "X"}}, 3)
+	if len(cand) != 2 {
+		t.Errorf("delta scan = %v", cand)
+	}
+	// Indexed delta scan.
+	cand = r.Candidates([]ast.Term{ast.Int(1)}, 3)
+	if len(cand) != 0 {
+		t.Errorf("indexed delta scan should exclude old tuples: %v", cand)
+	}
+	cand = r.Candidates([]ast.Term{ast.Int(4)}, 3)
+	if len(cand) != 1 {
+		t.Errorf("indexed delta scan missed a new tuple: %v", cand)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	a := ast.Atom{Pred: "p", Args: tup("a")}
+	if !s.InsertAtom(a) || s.InsertAtom(a) {
+		t.Error("InsertAtom dedup wrong")
+	}
+	if !s.ContainsAtom(a) {
+		t.Error("ContainsAtom wrong")
+	}
+	if s.ContainsAtom(ast.Atom{Pred: "q", Args: tup("a")}) {
+		t.Error("ContainsAtom found atom in missing relation")
+	}
+	s.InsertAtom(ast.Atom{Pred: "q"})
+	if s.Size() != 2 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	if len(s.Keys()) != 2 {
+		t.Errorf("Keys = %v", s.Keys())
+	}
+	if s.Peek(ast.PredKey{Name: "zzz", Arity: 0}) != nil {
+		t.Error("Peek created a relation")
+	}
+	if s.Rel(ast.PredKey{Name: "zzz", Arity: 0}) == nil {
+		t.Error("Rel did not create a relation")
+	}
+}
+
+func TestRelationArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	NewRelation(2).Insert(tup("a"))
+}

@@ -1,0 +1,183 @@
+// Package transform builds the ordered versions of classical programs
+// defined in §3 and §4 of the paper:
+//
+//   - OV(C), the ordered version of a seminegative program: a closed-world
+//     component ¬B_C above C, so that every atom is false unless proved;
+//   - EV(C), the extended version: OV(C) plus reflexive rules A ← A, which
+//     captures every 3-valued model (Proposition 5);
+//   - 3V(C), the 3-level version of a negative program: exceptions (the
+//     negative rules) below the general seminegative rules below the CWA.
+//
+// All three use the paper's reduced (non-ground) encodings: one CWA rule
+// -p(X1,...,Xn) per predicate and one reflexive rule p(X1,...,Xn) :-
+// p(X1,...,Xn) per predicate, keeping the translated program polynomial in
+// the source size.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Default component names used by the translations. If the source
+// component already uses a name, a prime is appended until fresh.
+const (
+	CWAName        = "cwa"
+	GeneralName    = "general"
+	ExceptionsName = "exceptions"
+)
+
+func freshName(taken map[string]bool, base string) string {
+	name := base
+	for taken[name] {
+		name += "x"
+	}
+	taken[name] = true
+	return name
+}
+
+// cwaRules returns the reduced closed-world component content: one rule
+// -p(X1,...,Xn) for each predicate key.
+func cwaRules(keys []ast.PredKey) []*ast.Rule {
+	rules := make([]*ast.Rule, 0, len(keys))
+	for _, k := range keys {
+		rules = append(rules, ast.Fact(ast.Neg(varAtom(k))))
+	}
+	return rules
+}
+
+// reflexiveRules returns one rule p(X1,...,Xn) :- p(X1,...,Xn) per key.
+func reflexiveRules(keys []ast.PredKey) []*ast.Rule {
+	rules := make([]*ast.Rule, 0, len(keys))
+	for _, k := range keys {
+		a := varAtom(k)
+		rules = append(rules, &ast.Rule{Head: ast.Pos(a), Body: []ast.Literal{ast.Pos(a)}})
+	}
+	return rules
+}
+
+func varAtom(k ast.PredKey) ast.Atom {
+	args := make([]ast.Term, k.Arity)
+	for i := range args {
+		args[i] = ast.Var{Name: fmt.Sprintf("X%d", i+1)}
+	}
+	return ast.Atom{Pred: k.Name, Args: args}
+}
+
+// componentPreds returns the predicate keys occurring in the rules.
+func componentPreds(rules []*ast.Rule) []ast.PredKey {
+	tmp := ast.NewOrderedProgram()
+	c := &ast.Component{Name: "tmp", Rules: rules}
+	if err := tmp.AddComponent(c); err != nil {
+		panic(err)
+	}
+	return tmp.Predicates()
+}
+
+// OV builds the ordered version OV(C) of a program given as a rule list:
+// <{¬B_C, C}, {C < ¬B_C}>. The program must be seminegative (no negated
+// heads); the component holding C's rules is named name.
+func OV(name string, rules []*ast.Rule) (*ast.OrderedProgram, error) {
+	for _, r := range rules {
+		if r.Head.Neg {
+			return nil, fmt.Errorf("transform: OV requires a seminegative program, found %s", r)
+		}
+	}
+	taken := map[string]bool{name: true}
+	cwa := freshName(taken, CWAName)
+	p := ast.NewOrderedProgram()
+	if err := p.AddComponent(&ast.Component{Name: cwa, Rules: cwaRules(componentPreds(rules))}); err != nil {
+		return nil, err
+	}
+	if err := p.AddComponent(&ast.Component{Name: name, Rules: rules}); err != nil {
+		return nil, err
+	}
+	if err := p.AddEdge(name, cwa); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EV builds the extended version EV(C): OV(C) with reflexive rules added
+// to the component holding C's rules.
+func EV(name string, rules []*ast.Rule) (*ast.OrderedProgram, error) {
+	keys := componentPreds(rules)
+	extended := append(append([]*ast.Rule(nil), rules...), reflexiveRules(keys)...)
+	for _, r := range rules {
+		if r.Head.Neg {
+			return nil, fmt.Errorf("transform: EV requires a seminegative program, found %s", r)
+		}
+	}
+	taken := map[string]bool{name: true}
+	cwa := freshName(taken, CWAName)
+	p := ast.NewOrderedProgram()
+	if err := p.AddComponent(&ast.Component{Name: cwa, Rules: cwaRules(keys)}); err != nil {
+		return nil, err
+	}
+	if err := p.AddComponent(&ast.Component{Name: name, Rules: extended}); err != nil {
+		return nil, err
+	}
+	if err := p.AddEdge(name, cwa); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ThreeV builds the 3-level version 3V(C) of a negative program:
+// <{¬B_C, C+, C−}, {C− < C+, C+ < ¬B_C, C− < ¬B_C}> where C+ holds the
+// seminegative rules plus the reflexive rules and C− holds the negative
+// rules (the exceptions). The returned component names are cwa / general /
+// exceptions (primed if the bases collide, which cannot happen here since
+// all three are fixed).
+func ThreeV(rules []*ast.Rule) (*ast.OrderedProgram, error) {
+	keys := componentPreds(rules)
+	var plus, minus []*ast.Rule
+	for _, r := range rules {
+		if r.Head.Neg {
+			minus = append(minus, r)
+		} else {
+			plus = append(plus, r)
+		}
+	}
+	plus = append(plus, reflexiveRules(keys)...)
+	p := ast.NewOrderedProgram()
+	if err := p.AddComponent(&ast.Component{Name: CWAName, Rules: cwaRules(keys)}); err != nil {
+		return nil, err
+	}
+	if err := p.AddComponent(&ast.Component{Name: GeneralName, Rules: plus}); err != nil {
+		return nil, err
+	}
+	if err := p.AddComponent(&ast.Component{Name: ExceptionsName, Rules: minus}); err != nil {
+		return nil, err
+	}
+	for _, e := range [][2]string{
+		{ExceptionsName, GeneralName},
+		{GeneralName, CWAName},
+		{ExceptionsName, CWAName},
+	} {
+		if err := p.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FlattenSingle extracts the rule list of a single-component program, the
+// usual input shape for OV/EV/ThreeV when the source was parsed from a
+// module-free file.
+func FlattenSingle(p *ast.OrderedProgram) ([]*ast.Rule, error) {
+	if len(p.Components) != 1 {
+		return nil, fmt.Errorf("transform: expected a single component, found %d", len(p.Components))
+	}
+	return p.Components[0].Rules, nil
+}

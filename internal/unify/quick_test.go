@@ -1,0 +1,119 @@
+package unify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// randTerm builds a random term of bounded depth over a tiny vocabulary.
+func randTerm(rng *rand.Rand, depth int) ast.Term {
+	switch {
+	case depth <= 0 || rng.Intn(3) == 0:
+		switch rng.Intn(3) {
+		case 0:
+			return ast.Sym([]string{"a", "b", "c"}[rng.Intn(3)])
+		case 1:
+			return ast.Int(int64(rng.Intn(3)))
+		default:
+			return ast.Var{Name: []string{"X", "Y", "Z"}[rng.Intn(3)]}
+		}
+	default:
+		k := 1 + rng.Intn(2)
+		args := make([]ast.Term, k)
+		for i := range args {
+			args[i] = randTerm(rng, depth-1)
+		}
+		return ast.Compound{Functor: []string{"f", "g"}[rng.Intn(2)], Args: args}
+	}
+}
+
+// TestQuickUnifyIsUnifier: whenever Unify succeeds, applying the
+// substitution makes the terms structurally equal.
+func TestQuickUnifyIsUnifier(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randTerm(rng, 3), randTerm(rng, 3)
+		s := NewSubst()
+		if !Unify(s, a, b) {
+			return true // failure needs no witness
+		}
+		return s.Apply(a).Equal(s.Apply(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnifySymmetric: unifiability is symmetric.
+func TestQuickUnifySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randTerm(rng, 3), randTerm(rng, 3)
+		ab := Unify(NewSubst(), a, b)
+		ba := Unify(NewSubst(), b, a)
+		return ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatchImpliesUnify: a successful one-way match of a pattern
+// against a ground term is also a unifier, and matching a term against an
+// instance of itself always succeeds.
+func TestQuickMatchImpliesUnify(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pattern := randTerm(rng, 3)
+		// Build a ground instance of the pattern.
+		ground := SubstAllVars(pattern, func(v ast.Var) ast.Term {
+			return ast.Sym("g" + v.Name)
+		})
+		s := NewSubst()
+		if !Match(s, pattern, ground) {
+			return false
+		}
+		return s.Apply(pattern).Equal(ground)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SubstAllVars replaces every variable via fn (test helper).
+func SubstAllVars(t ast.Term, fn func(ast.Var) ast.Term) ast.Term {
+	return ast.SubstituteTerm(t, fn)
+}
+
+// TestQuickUndoRestores: any sequence of marks, binds and undos leaves the
+// substitution exactly as it was at the mark.
+func TestQuickUndoRestores(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSubst()
+		names := []string{"A", "B", "C", "D", "E", "F"}
+		// Pre-bind a few.
+		for i := 0; i < 2; i++ {
+			n := names[rng.Intn(len(names))]
+			if s.Lookup(ast.Var{Name: n}) == nil {
+				s.Bind(ast.Var{Name: n}, ast.Sym("pre"))
+			}
+		}
+		before := s.String()
+		mark := s.Mark()
+		for k := 0; k < int(opsRaw%12); k++ {
+			n := names[rng.Intn(len(names))]
+			if s.Lookup(ast.Var{Name: n}) == nil {
+				s.Bind(ast.Var{Name: n}, randTerm(rng, 2))
+			}
+		}
+		s.Undo(mark)
+		return s.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

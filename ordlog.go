@@ -1,0 +1,191 @@
+// Package ordlog is an ordered logic programming engine: a complete Go
+// implementation of "Extending Logic Programming" (Laenens, Saccà, Vermeir,
+// SIGMOD 1990).
+//
+// An ordered logic program is a partially ordered set of modules
+// (components), each a logic program whose rules may carry classical
+// negation in heads as well as bodies. A component inherits the rules of
+// every component above it; contradictions are resolved by overruling
+// (a more specific rule wins) and defeating (unordered contradicting rules
+// silence each other). The declarative semantics is three-valued: a
+// program has a least model, a family of assumption-free models, and
+// stable models (the maximal assumption-free ones).
+//
+// # Quick start
+//
+//	prog, err := ordlog.Parse(`
+//	    module birds {
+//	        bird(penguin).  bird(pigeon).
+//	        fly(X) :- bird(X).
+//	        -ground_animal(X) :- bird(X).
+//	    }
+//	    module arctic extends birds {
+//	        ground_animal(penguin).
+//	        -fly(X) :- ground_animal(X).
+//	    }
+//	`)
+//	eng, err := ordlog.NewEngine(prog.Program, ordlog.Config{})
+//	m, err := eng.LeastModel("arctic")
+//	fmt.Println(m) // {-fly(penguin), ..., fly(pigeon), ...}
+//
+// The classical semantics the paper subsumes are available through the
+// translations OV, EV and ThreeV (§3–§4 of the paper) and through the
+// baseline implementations in internal/classical.
+package ordlog
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/stable"
+	"repro/internal/transform"
+)
+
+// Re-exported core types. See the respective internal packages for the
+// full method sets.
+type (
+	// Program is a parsed ordered program.
+	Program = ast.OrderedProgram
+	// Component is one module of an ordered program.
+	Component = ast.Component
+	// Rule is a (possibly negative) rule.
+	Rule = ast.Rule
+	// Literal is an atom or its classical negation.
+	Literal = ast.Literal
+	// Atom is a predicate applied to terms.
+	Atom = ast.Atom
+	// Query is a conjunctive goal.
+	Query = ast.Query
+	// Engine evaluates a grounded ordered program.
+	Engine = core.Engine
+	// Config configures engine construction.
+	Config = core.Config
+	// Model is a (possibly partial) model in one component.
+	Model = core.Model
+	// Binding maps query variables to ground terms.
+	Binding = core.Binding
+	// GroundOptions configures the grounder.
+	GroundOptions = ground.Options
+	// EnumOptions bounds stable-model enumeration.
+	EnumOptions = stable.Options
+	// Consequences holds cautious/brave stable inference results.
+	Consequences = core.Consequences
+	// Diagnostic is one static-analysis finding.
+	Diagnostic = analyze.Diagnostic
+	// Value is a three-valued truth value.
+	Value = interp.Value
+	// ParseResult is a parsed program together with its queries.
+	ParseResult = parser.Result
+)
+
+// Three-valued truth values with the ordering False < Undef < True.
+const (
+	False = interp.False
+	Undef = interp.Undef
+	True  = interp.True
+)
+
+// Grounding modes.
+const (
+	// ModeSmart grounds only relevant instances (the default).
+	ModeSmart = ground.ModeSmart
+	// ModeFull grounds exhaustively over the whole Herbrand universe.
+	ModeFull = ground.ModeFull
+)
+
+// Parse parses ordered-program source text: module blocks with extends /
+// order declarations, rules, and optional ?- queries.
+func Parse(src string) (*ParseResult, error) { return parser.Parse(src) }
+
+// ParseProgram parses source that must not contain queries.
+func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src) }
+
+// ParseFile reads and parses a .olp file.
+func ParseFile(path string) (*ParseResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parser.Parse(string(b))
+}
+
+// ParseFiles reads several .olp files as one program: module blocks with
+// the same name accumulate across files (the parser's reopening rule), and
+// queries from all files are concatenated in order. Useful for splitting a
+// knowledge base into per-module files.
+func ParseFiles(paths ...string) (*ParseResult, error) {
+	var src strings.Builder
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		src.Write(b)
+		src.WriteByte('\n')
+	}
+	return parser.Parse(src.String())
+}
+
+// ParseRule parses a single clause such as "fly(X) :- bird(X).".
+func ParseRule(src string) (*Rule, error) { return parser.ParseRule(src) }
+
+// ParseLiteral parses a single literal such as "-fly(penguin)".
+func ParseLiteral(src string) (Literal, error) { return parser.ParseLiteral(src) }
+
+// NewEngine grounds a program and returns an evaluation engine.
+func NewEngine(p *Program, cfg Config) (*Engine, error) { return core.NewEngine(p, cfg) }
+
+// OV builds the ordered version of a seminegative program (§3): a
+// closed-world component above the program, capturing the founded and
+// stable 3-valued models of classical logic programming.
+func OV(name string, rules []*Rule) (*Program, error) { return transform.OV(name, rules) }
+
+// EV builds the extended version (§3): OV plus reflexive rules, capturing
+// every 3-valued model.
+func EV(name string, rules []*Rule) (*Program, error) { return transform.EV(name, rules) }
+
+// ThreeV builds the 3-level version of a negative program (§4), reading
+// negative rules as exceptions to the general seminegative rules.
+func ThreeV(rules []*Rule) (*Program, error) { return transform.ThreeV(rules) }
+
+// SingleComponent wraps a rule list as a one-component ordered program.
+func SingleComponent(name string, rules []*Rule) *Program {
+	return ast.SingleComponent(name, rules)
+}
+
+// Analyze runs the static diagnostics of internal/analyze: unsafe
+// variables, undefined body predicates, defeat sources, empty components.
+func Analyze(p *Program) []Diagnostic { return analyze.Program(p) }
+
+// MergeFacts parses additional clauses (typically a bulk-loaded fact base)
+// and appends them to the named component of an already-parsed program.
+// Call before NewEngine; the program is modified in place.
+func MergeFacts(p *Program, comp string, src string) error {
+	extra, err := parser.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	if len(extra.Components) == 0 {
+		return nil // nothing to merge
+	}
+	if len(extra.Components) != 1 || extra.Components[0].Name != parser.MainComponent {
+		return fmt.Errorf("fact source must be module-free")
+	}
+	rules, err := transform.FlattenSingle(extra)
+	if err != nil {
+		return err
+	}
+	c := p.Component(comp)
+	if c == nil {
+		return fmt.Errorf("unknown component %q", comp)
+	}
+	c.Rules = append(c.Rules, rules...)
+	return nil
+}

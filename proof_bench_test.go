@@ -1,0 +1,83 @@
+// B8: goal-directed proof vs full materialisation. The top-down prover
+// (internal/proof) answers a single query without computing the whole
+// least model; this benchmark measures when that pays off on OV(ancestor).
+package ordlog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/proof"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+func ancestorView(b *testing.B, n int) *eval.View {
+	b.Helper()
+	ov, err := transform.OV("c", workload.AncestorChain(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ground.Ground(ov, ground.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := eval.NewViewByName(g, "c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+func ancLit(b *testing.B, v *eval.View, from, to int) interp.Lit {
+	b.Helper()
+	l, err := parser.ParseLiteral(fmt.Sprintf("anc(c%d, c%d)", from, to))
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, ok := v.G.Tab.Lookup(l.Atom)
+	if !ok {
+		b.Fatalf("atom %s not interned", l.Atom)
+	}
+	return interp.MkLit(id, l.Neg)
+}
+
+func BenchmarkB8ProveSingleQuery(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("anc_n=%d", n), func(b *testing.B) {
+			v := ancestorView(b, n)
+			goal := ancLit(b, v, 0, n/2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr := proof.New(v, 0) // fresh memo: a cold single query
+				ok, err := pr.Prove(goal)
+				if err != nil || !ok {
+					b.Fatalf("prove: %v %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkB8MaterialiseThenQuery(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("anc_n=%d", n), func(b *testing.B) {
+			v := ancestorView(b, n)
+			goal := ancLit(b, v, 0, n/2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := v.LeastModel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !m.HasLit(goal) {
+					b.Fatal("goal not in least model")
+				}
+			}
+		})
+	}
+}
