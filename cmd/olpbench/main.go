@@ -5,19 +5,26 @@
 //
 // Usage:
 //
-//	olpbench [-exp all|figures|B1..B8] [-quick]
+//	olpbench [-exp all|figures|B1..B9] [-quick] [-parallel] [-workers n]
+//
+// -parallel (or -exp B9) runs the batched-query throughput experiment:
+// a batch of independent least-model queries fanned over the bounded
+// worker pool of internal/batch, reported as sequential-vs-parallel
+// throughput with per-worker latency histograms.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	ordlog "repro"
+	"repro/internal/batch"
 	"repro/internal/classical"
 	"repro/internal/eval"
 	"repro/internal/ground"
@@ -28,11 +35,19 @@ import (
 	"repro/internal/workload"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps")
+var (
+	quick    = flag.Bool("quick", false, "smaller sweeps")
+	parallel = flag.Bool("parallel", false, "run the batched-query throughput experiment (B9) only")
+	workers  = flag.Int("workers", 0, "worker pool size for B9 (0 = GOMAXPROCS)")
+)
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B8")
+	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B9")
 	flag.Parse()
+	if *parallel {
+		b9()
+		return
+	}
 	run := func(id string, f func()) {
 		if *exp == "all" || strings.EqualFold(*exp, id) {
 			f()
@@ -47,6 +62,7 @@ func main() {
 	run("B6", b6)
 	run("B7", b7)
 	run("B8", b8)
+	run("B9", b9)
 }
 
 func header(title string) {
@@ -452,6 +468,91 @@ func b8() {
 		fmt.Fprintf(w, "%d\t%v\t%v\t%.1fx\n", n, proveT, lfpT, float64(lfpT)/float64(proveT))
 	}
 	w.Flush()
+}
+
+// ---------- B9 ----------
+
+// b9 measures the batched parallel query front end: a batch of independent
+// least-model queries (one per engine, so no cache sharing flatters the
+// parallel side) executed sequentially and then over the bounded worker
+// pool, with per-worker latency histograms.
+func b9() {
+	header("B9: batched least-model queries, sequential vs parallel worker pool")
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	nTasks := 48
+	depth, props, members := 6, 8, 16
+	if *quick {
+		nTasks, depth = 24, 4
+	}
+	prog := workload.Inheritance(depth, props, members)
+
+	// Each task gets its own engine so every least model is genuinely
+	// recomputed; engines are built outside the timed region (grounding is
+	// a one-time cost the paper's batch scenario amortises).
+	buildEngines := func() []*ordlog.Engine {
+		engines := make([]*ordlog.Engine, nTasks)
+		for i := range engines {
+			engines[i] = must(ordlog.NewEngine(prog, ordlog.Config{}))
+		}
+		return engines
+	}
+
+	seqEngines := buildEngines()
+	seqStart := time.Now()
+	for _, eng := range seqEngines {
+		must(eng.LeastModel("lvl0"))
+	}
+	seqTime := time.Since(seqStart)
+
+	parEngines := buildEngines()
+	hists := make([]batch.Histogram, nWorkers)
+	parStart := time.Now()
+	batch.Each(nTasks, batch.Options{Workers: nWorkers}, func(worker, i int) {
+		qStart := time.Now()
+		must(parEngines[i].LeastModel("lvl0"))
+		hists[worker].Observe(time.Since(qStart))
+	})
+	parTime := time.Since(parStart)
+
+	seqQPS := float64(nTasks) / seqTime.Seconds()
+	parQPS := float64(nTasks) / parTime.Seconds()
+	w := tw()
+	fmt.Fprintln(w, "mode\tqueries\tworkers\ttotal\tthroughput\tspeedup")
+	fmt.Fprintf(w, "sequential\t%d\t1\t%v\t%.1f q/s\t1.0x\n", nTasks, seqTime, seqQPS)
+	fmt.Fprintf(w, "parallel\t%d\t%d\t%v\t%.1f q/s\t%.1fx\n", nTasks, nWorkers, parTime, parQPS, parQPS/seqQPS)
+	w.Flush()
+	fmt.Println("per-worker latency:")
+	for i := range hists {
+		if hists[i].Count() == 0 {
+			continue
+		}
+		fmt.Printf("  worker %d: %s\n", i, hists[i].String())
+	}
+
+	// Second scenario: one engine shared by every worker, queries across
+	// overlapping components. The singleflight caches mean K components
+	// cost K fixpoints regardless of the batch size.
+	shared := must(ordlog.NewEngine(prog, ordlog.Config{}))
+	comps := make([]string, 0, depth*4)
+	for rep := 0; rep < 4; rep++ {
+		for lvl := 0; lvl < depth; lvl++ {
+			comps = append(comps, fmt.Sprintf("lvl%d", lvl))
+		}
+	}
+	sharedStart := time.Now()
+	_, errs := shared.LeastModelAll(comps, batch.Options{Workers: nWorkers})
+	sharedTime := time.Since(sharedStart)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olpbench:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("shared engine: %d queries over %d components in %v (%d fixpoints via singleflight)\n",
+		len(comps), depth, sharedTime, depth)
 }
 
 // ---------- B6 ----------

@@ -17,6 +17,9 @@
 //	-explain atom      print the rule statuses around one ground atom
 //	-prove literal     goal-directed proof with derivation tree
 //	-edb file          merge a facts file into the target component
+//	-parallel n        answer the file's queries over a worker pool of n
+//	                   goroutines (0 = sequential, -1 = GOMAXPROCS); the
+//	                   least model per component is computed once and shared
 //	-json              machine-readable output
 //	-stats             print grounding statistics
 //	-i                 interactive shell (see internal/repl)
@@ -31,6 +34,7 @@ import (
 
 	ordlog "repro"
 	"repro/internal/analyze"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/ground"
 	"repro/internal/parser"
@@ -47,6 +51,7 @@ func main() {
 	explain := flag.String("explain", "", "ground atom to explain")
 	prove := flag.String("prove", "", "ground literal to prove goal-directedly")
 	edb := flag.String("edb", "", "facts file merged into the target component before grounding")
+	parallel := flag.Int("parallel", 0, "answer queries over a worker pool (0 = sequential, -1 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit models and answers as JSON")
 	stats := flag.Bool("stats", false, "print grounding statistics")
 	interactive := flag.Bool("i", false, "interactive shell (optionally preloading the program)")
@@ -73,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *jsonOut, *stats); err != nil {
+	if err := run(flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *jsonOut, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "ordlog:", err)
 		os.Exit(1)
 	}
@@ -122,7 +127,7 @@ func runREPL(args []string) error {
 	return repl.New(prog, core.Config{}, os.Stdout).Run(os.Stdin)
 }
 
-func run(path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, jsonOut, stats bool) error {
+func run(path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel int, jsonOut, stats bool) error {
 	res, err := ordlog.ParseFile(path)
 	if err != nil {
 		return err
@@ -241,16 +246,51 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 		return fmt.Errorf("unknown -models %q", models)
 	}
 
+	// queryAnswers evaluates every query of the file against one model,
+	// fanning multi-query files over a bounded worker pool when -parallel
+	// is set. For the (cached) least model the engine's batch front end is
+	// used; enumerated models are matched with a plain pool since each
+	// model object is already materialised.
+	queryAnswers := func(m *ordlog.Model) [][]ordlog.Binding {
+		workers := parallel
+		if workers < 0 {
+			workers = 0 // batch treats 0 as GOMAXPROCS
+		}
+		if parallel != 0 && len(res.Queries) > 1 {
+			if models == "least" {
+				reqs := make([]ordlog.QueryRequest, len(res.Queries))
+				for i, q := range res.Queries {
+					reqs[i] = ordlog.QueryRequest{Comp: component, Query: q}
+				}
+				results := eng.QueryBatch(reqs, ordlog.BatchOptions{Workers: workers})
+				answers := make([][]ordlog.Binding, len(results))
+				for i, r := range results {
+					answers[i] = r.Bindings // least model already computed: no errors
+				}
+				return answers
+			}
+			answers, _ := batch.Map(res.Queries, batch.Options{Workers: workers},
+				func(q ordlog.Query) ([]ordlog.Binding, error) { return m.Query(q), nil })
+			return answers
+		}
+		answers := make([][]ordlog.Binding, len(res.Queries))
+		for i, q := range res.Queries {
+			answers[i] = m.Query(q)
+		}
+		return answers
+	}
+
 	for i, m := range out {
 		kind := models
+		modelAnswers := queryAnswers(m)
 		if jsonOut {
 			b, err := m.JSON(false)
 			if err != nil {
 				return err
 			}
 			fmt.Println(string(b))
-			for _, q := range res.Queries {
-				jb, err := core.BindingsJSON(q, m.Query(q))
+			for qi, q := range res.Queries {
+				jb, err := core.BindingsJSON(q, modelAnswers[qi])
 				if err != nil {
 					return err
 				}
@@ -264,8 +304,8 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 			fmt.Printf("%% %s model in %s\n", kind, component)
 		}
 		fmt.Println(m)
-		for _, q := range res.Queries {
-			answers := m.Query(q)
+		for qi, q := range res.Queries {
+			answers := modelAnswers[qi]
 			fmt.Printf("%s  %% %d answers\n", q, len(answers))
 			for _, b := range answers {
 				if len(b) == 0 {

@@ -1,0 +1,96 @@
+// Package batch provides a bounded worker pool for fanning independent
+// engine work items — least-model computations, conjunctive queries,
+// stable enumerations — across goroutines, plus a latency histogram for
+// benchmark reporting. It is the building block behind
+// core.Engine.QueryBatch and core.Engine.LeastModelAll and the
+// cmd/olpbench -parallel mode.
+//
+// The pool is deliberately simple: item order in, result order out. Work
+// items must be independent; the engine's per-component singleflight
+// caches make concurrent items that touch the same component cheap rather
+// than racy.
+package batch
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Workers is the number of goroutines (0 or negative = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Each runs fn(worker, i) for every i in [0, n) over a bounded pool. The
+// worker index (in [0, workers)) supports per-worker accounting such as
+// latency histograms; items are handed out dynamically, so the mapping of
+// items to workers is not deterministic.
+func Each(n int, opts Options, fn func(worker, i int)) {
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every item over a bounded pool and returns the results
+// and errors in input order. A non-nil error for one item does not stop
+// the others.
+func Map[T, R any](items []T, opts Options, fn func(item T) (R, error)) ([]R, []error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	Each(len(items), opts, func(_, i int) {
+		results[i], errs[i] = fn(items[i])
+	})
+	return results, errs
+}
+
+// FirstError returns the first non-nil error of a Map/Each error slice.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		var hits [257]atomic.Int32
+		Each(len(hits), Options{Workers: workers}, func(_, i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEachZeroItems(t *testing.T) {
+	called := false
+	Each(0, Options{Workers: 4}, func(_, _ int) { called = true })
+	if called {
+		t.Error("fn called with no items")
+	}
+}
+
+func TestEachWorkerIndexBounded(t *testing.T) {
+	const workers = 5
+	var bad atomic.Bool
+	Each(200, Options{Workers: workers}, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Store(true)
+		}
+	})
+	if bad.Load() {
+		t.Error("worker index out of range")
+	}
+}
+
+func TestMapOrderAndErrors(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	wantErr := errors.New("odd")
+	got, errs := Map(items, Options{Workers: 3}, func(x int) (string, error) {
+		if x%2 == 1 {
+			return "", wantErr
+		}
+		return fmt.Sprintf("v%d", x), nil
+	})
+	for i, x := range items {
+		if x%2 == 1 {
+			if !errors.Is(errs[i], wantErr) {
+				t.Errorf("item %d: err = %v, want odd", x, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil || got[i] != fmt.Sprintf("v%d", x) {
+			t.Errorf("item %d: got %q, %v", x, got[i], errs[i])
+		}
+	}
+	if FirstError(errs) == nil {
+		t.Error("FirstError missed the failures")
+	}
+	_, cleanErrs := Map(items, Options{}, func(x int) (int, error) { return x, nil })
+	if FirstError(cleanErrs) != nil {
+		t.Error("FirstError on clean run")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.String() != "no observations" {
+		t.Errorf("empty histogram: %q", h.String())
+	}
+	durations := []time.Duration{
+		500 * time.Nanosecond, time.Microsecond, 3 * time.Microsecond,
+		100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	if h.Count() != int64(len(durations)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(durations))
+	}
+	if h.Mean() <= 0 {
+		t.Error("Mean not positive")
+	}
+	if q := h.Quantile(1.0); q < 10*time.Millisecond {
+		t.Errorf("p100 %v below max observation", q)
+	}
+	if q := h.Quantile(0); q > 2*time.Microsecond {
+		t.Errorf("p0 %v above smallest bucket boundary", q)
+	}
+
+	var other Histogram
+	other.Observe(42 * time.Microsecond)
+	h.Merge(&other)
+	if h.Count() != int64(len(durations))+1 {
+		t.Errorf("Merge: Count = %d", h.Count())
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var dst, src Histogram
+	src.Observe(time.Millisecond)
+	dst.Merge(&src)
+	if dst.Count() != 1 || dst.Mean() != time.Millisecond {
+		t.Errorf("merge into empty: n=%d mean=%v", dst.Count(), dst.Mean())
+	}
+}

@@ -1,0 +1,116 @@
+package batch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+const numBuckets = 40
+
+// Histogram records latencies in power-of-two duration buckets starting at
+// 1µs. It is not synchronised: keep one per worker and Merge at the end.
+type Histogram struct {
+	counts [numBuckets]int64
+	total  time.Duration
+	n      int64
+	min    time.Duration
+	max    time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	b := 0
+	for unit := time.Microsecond; d >= unit*2 && b < numBuckets-1; unit *= 2 {
+		b++
+	}
+	return b
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.total += d
+	if h.n == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.n++
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if other.n > 0 {
+		if h.n == 0 || other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.total += other.total
+	h.n += other.n
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the mean latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.total / time.Duration(h.n)
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in [0,1])
+// from the bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n-1))
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return bucketUpper(b)
+		}
+	}
+	return h.max
+}
+
+// bucketUpper returns the exclusive upper boundary of bucket b: bucket 0
+// covers [0, 2µs), bucket b covers [1µs<<b, 1µs<<(b+1)).
+func bucketUpper(b int) time.Duration {
+	return time.Microsecond << uint(b+1)
+}
+
+// String renders a compact summary plus the non-empty buckets.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "no observations"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d min=%v mean=%v p50≤%v p99≤%v max=%v",
+		h.n, h.min, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	var used []int
+	for b, c := range h.counts {
+		if c > 0 {
+			used = append(used, b)
+		}
+	}
+	sort.Ints(used)
+	for _, b := range used {
+		fmt.Fprintf(&sb, "  [<%v]=%d", bucketUpper(b), h.counts[b])
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/ast"
+	"repro/internal/batch"
+)
+
+// QueryRequest is one unit of a batched query: a conjunctive query
+// evaluated against the least model of a component ("" selects
+// DefaultComponent).
+type QueryRequest struct {
+	Comp  string
+	Query ast.Query
+}
+
+// QueryResult is the outcome of one QueryRequest. Bindings is nil when Err
+// is non-nil.
+type QueryResult struct {
+	Bindings []Binding
+	Err      error
+}
+
+// QueryBatch evaluates a slice of queries — possibly across different
+// components — over a bounded worker pool and returns per-query results in
+// input order. Least models are computed once per component (singleflight)
+// and shared by every request that targets it, so a batch of M queries
+// over K components runs K fixpoints, not M.
+func (e *Engine) QueryBatch(reqs []QueryRequest, opts batch.Options) []QueryResult {
+	out := make([]QueryResult, len(reqs))
+	batch.Each(len(reqs), opts, func(_, i int) {
+		m, err := e.LeastModel(reqs[i].Comp)
+		if err != nil {
+			out[i] = QueryResult{Err: err}
+			return
+		}
+		out[i] = QueryResult{Bindings: m.Query(reqs[i].Query)}
+	})
+	return out
+}
+
+// LeastModelAll computes the least model of every named component ("" is
+// not accepted here; name components explicitly) over a bounded worker
+// pool. Results and errors are positional. Models are cached on the engine
+// exactly as with sequential LeastModel calls.
+func (e *Engine) LeastModelAll(comps []string, opts batch.Options) ([]*Model, []error) {
+	return batch.Map(comps, opts, func(comp string) (*Model, error) {
+		return e.LeastModel(comp)
+	})
+}
+
+// ProveBatch answers a slice of goal-directed membership queries over a
+// bounded worker pool. Proofs within one component share that component's
+// memoising prover and are serialised; proofs across components run in
+// parallel.
+func (e *Engine) ProveBatch(comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
+	return batch.Map(lits, opts, func(l ast.Literal) (bool, error) {
+		return e.Prove(comp, l)
+	})
+}

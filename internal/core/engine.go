@@ -5,6 +5,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -24,12 +25,38 @@ type Config struct {
 // Engine holds a grounded ordered program and caches per-component views,
 // least models and provers. An Engine is immutable after construction:
 // callers that change the source program build a new Engine.
+//
+// Concurrency contract: an Engine is safe for concurrent use by multiple
+// goroutines. Per-component views and least models are memoised with
+// singleflight semantics — N goroutines asking for the same component
+// compute each artifact exactly once and share the result. The returned
+// *Model values (and the interp.Interp they expose) are shared and must be
+// treated as read-only; callers that need a private copy clone the
+// interpretation. Goal-directed proofs (Prove, ProveExplain, ProveQuery)
+// share a memoising prover per component and are serialised per component;
+// queries against different components proceed in parallel.
 type Engine struct {
-	src     *ast.OrderedProgram
-	gp      *ground.Program
-	views   map[int]*eval.View
-	provers map[int]*proof.Prover
-	least   map[int]*Model
+	src *ast.OrderedProgram
+	gp  *ground.Program
+
+	mu    sync.Mutex
+	comps map[int]*compState
+}
+
+// compState holds the lazily built per-component artifacts. The sync.Once
+// fields give singleflight semantics for the construct-once/read-many
+// artifacts; proverMu serialises uses of the memoising (and therefore
+// non-reentrant) goal-directed prover.
+type compState struct {
+	viewOnce sync.Once
+	view     *eval.View
+
+	leastOnce sync.Once
+	least     *Model
+	leastErr  error
+
+	proverMu sync.Mutex
+	prover   *proof.Prover
 }
 
 // NewEngine grounds the program. The program must be validated (parser
@@ -44,7 +71,35 @@ func NewEngine(p *ast.OrderedProgram, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{src: p, gp: gp, views: make(map[int]*eval.View)}, nil
+	return &Engine{src: p, gp: gp, comps: make(map[int]*compState)}, nil
+}
+
+// comp returns the shared per-component state, creating it on first use.
+func (e *Engine) comp(i int) *compState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.comps[i]
+	if !ok {
+		st = &compState{}
+		e.comps[i] = st
+	}
+	return st
+}
+
+// resolve maps a component name ("" = DefaultComponent) to its position.
+func (e *Engine) resolve(comp string) (int, error) {
+	if comp == "" {
+		var err error
+		comp, err = e.DefaultComponent()
+		if err != nil {
+			return -1, err
+		}
+	}
+	i, ok := e.src.ComponentIndex(comp)
+	if !ok {
+		return -1, fmt.Errorf("core: unknown component %q", comp)
+	}
+	return i, nil
 }
 
 // Source returns the source program.
@@ -89,49 +144,42 @@ func (e *Engine) DefaultComponent() (string, error) {
 }
 
 // View returns the cached evaluation view for a component; comp == ""
-// selects DefaultComponent.
+// selects DefaultComponent. The view is built exactly once per component
+// even under concurrent callers and is immutable afterwards.
 func (e *Engine) View(comp string) (*eval.View, error) {
-	if comp == "" {
-		var err error
-		comp, err = e.DefaultComponent()
-		if err != nil {
-			return nil, err
-		}
+	i, err := e.resolve(comp)
+	if err != nil {
+		return nil, err
 	}
-	i, ok := e.src.ComponentIndex(comp)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown component %q", comp)
-	}
-	if v, ok := e.views[i]; ok {
-		return v, nil
-	}
-	v := eval.NewView(e.gp, i)
-	e.views[i] = v
-	return v, nil
+	return e.viewAt(i), nil
+}
+
+func (e *Engine) viewAt(i int) *eval.View {
+	st := e.comp(i)
+	st.viewOnce.Do(func() { st.view = eval.NewView(e.gp, i) })
+	return st.view
 }
 
 // LeastModel computes the least model of the program in the component
 // (lfp of the ordered immediate transformation, Theorem 1(b)). Results are
-// cached per component; callers must not mutate the returned model's
-// interpretation.
+// cached per component with singleflight semantics; callers must not
+// mutate the returned model's interpretation.
 func (e *Engine) LeastModel(comp string) (*Model, error) {
-	v, err := e.View(comp)
+	i, err := e.resolve(comp)
 	if err != nil {
 		return nil, err
 	}
-	if e.least == nil {
-		e.least = make(map[int]*Model)
-	}
-	if m, ok := e.least[v.Comp]; ok {
-		return m, nil
-	}
-	in, err := v.LeastModel()
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{view: v, in: in}
-	e.least[v.Comp] = m
-	return m, nil
+	st := e.comp(i)
+	st.leastOnce.Do(func() {
+		v := e.viewAt(i)
+		in, err := v.LeastModel()
+		if err != nil {
+			st.leastErr = err
+			return
+		}
+		st.least = &Model{view: v, in: in}
+	})
+	return st.least, st.leastErr
 }
 
 // AssumptionFreeModels enumerates the assumption-free models in the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/interp"
@@ -10,12 +11,24 @@ import (
 	"repro/internal/unify"
 )
 
+// prover returns the shared memoising prover for component position i
+// together with the mutex that serialises its (non-reentrant) use. Callers
+// hold the mutex across every Prover method call.
+func (e *Engine) prover(i int) (*proof.Prover, *sync.Mutex) {
+	st := e.comp(i)
+	st.proverMu.Lock()
+	if st.prover == nil {
+		st.prover = proof.New(e.viewAt(i), 0)
+	}
+	return st.prover, &st.proverMu
+}
+
 // Prove answers a least-model membership query for one ground literal in
 // the component with the goal-directed proof procedure (no full model is
 // materialised). Literals over atoms outside the relevant Herbrand base
 // are unprovable.
 func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
-	v, err := e.View(comp)
+	i, err := e.resolve(comp)
 	if err != nil {
 		return false, err
 	}
@@ -26,14 +39,8 @@ func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	if e.provers == nil {
-		e.provers = make(map[int]*proof.Prover)
-	}
-	pr, ok := e.provers[v.Comp]
-	if !ok {
-		pr = proof.New(v, 0)
-		e.provers[v.Comp] = pr
-	}
+	pr, mu := e.prover(i)
+	defer mu.Unlock()
 	return pr.Prove(interp.MkLit(id, l.Neg))
 }
 
@@ -41,7 +48,7 @@ func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
 // the rendered derivation tree: the firing rule, its body subproofs, and
 // one blocking proof per competitor.
 func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) {
-	v, err := e.View(comp)
+	i, err := e.resolve(comp)
 	if err != nil {
 		return "", false, err
 	}
@@ -52,14 +59,8 @@ func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) 
 	if !ok {
 		return "", false, nil
 	}
-	if e.provers == nil {
-		e.provers = make(map[int]*proof.Prover)
-	}
-	pr, okp := e.provers[v.Comp]
-	if !okp {
-		pr = proof.New(v, 0)
-		e.provers[v.Comp] = pr
-	}
+	pr, mu := e.prover(i)
+	defer mu.Unlock()
 	tree, ok, err := pr.Explain(interp.MkLit(id, l.Neg))
 	if err != nil || !ok {
 		return "", false, err
@@ -73,18 +74,12 @@ func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) 
 // only the needed parts of the least model are computed. Builtins filter
 // as usual.
 func (e *Engine) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
-	v, err := e.View(comp)
+	i, err := e.resolve(comp)
 	if err != nil {
 		return nil, err
 	}
-	if e.provers == nil {
-		e.provers = make(map[int]*proof.Prover)
-	}
-	pr, ok := e.provers[v.Comp]
-	if !ok {
-		pr = proof.New(v, 0)
-		e.provers[v.Comp] = pr
-	}
+	pr, mu := e.prover(i)
+	defer mu.Unlock()
 	tab := e.gp.Tab
 	var out []Binding
 	seen := make(map[string]bool)

@@ -22,6 +22,15 @@ import (
 // C(r') < C(r) (a strictly more specific component) and a *defeater* when
 // C(r') = C(r) or the components are incomparable. Rules in strictly more
 // general components can do neither.
+//
+// Concurrency invariant: every index a View holds — heads, bodies, comps,
+// srcs, overrulers, defeaters, bodyOcc, headOf, headAtom, threatened — is
+// built once inside NewView and never mutated afterwards (construct-once/
+// read-many). A *View is therefore safe for unsynchronised sharing across
+// goroutines; all evaluation methods (VOnce, LeastModel, TEnabled,
+// IsModel, the Definition 2 status checks) allocate their mutable state
+// per call. Any future lazily built index must either move into NewView or
+// be guarded, or it breaks core.Engine's concurrency contract.
 type View struct {
 	G    *ground.Program
 	Comp int // target component position

@@ -1,0 +1,88 @@
+// Property tests pinning the parallel stable-model enumeration to the
+// sequential reference across worker counts, including the budget-
+// exhaustion paths, per the ISSUE's differential-harness requirement.
+package stable_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/stable"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// TestStableParallelWorkerSweep: StableModelsParallel returns exactly the
+// same stable-model set as StableModels for worker counts {1, 2, 8} on
+// random ordered workloads.
+func TestStableParallelWorkerSweep(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed + 7_000))
+		p := workload.RandomOrdered(rng, 1+rng.Intn(3), workload.RandomConfig{
+			Atoms: 4 + rng.Intn(3), Rules: 8 + rng.Intn(5), MaxBody: 2,
+			NegHeads: true, NegBody: true,
+		})
+		g, err := ground.Ground(p, ground.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range p.Components {
+			v := eval.NewView(g, ci)
+			seq, err := stable.StableModels(v, stable.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := modelStrings(seq)
+			for _, workers := range []int{1, 2, 8} {
+				par, err := stable.StableModelsParallel(v, stable.ParallelOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("seed %d comp %d workers %d: %v", seed, ci, workers, err)
+				}
+				got := modelStrings(par)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d comp %d workers %d: %d stable models, want %d\npar: %v\nseq: %v",
+						seed, ci, workers, len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d comp %d workers %d: model sets differ\npar: %v\nseq: %v",
+							seed, ci, workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStableParallelBudgetExhaustion: when the leaf budget is too small,
+// the sequential and parallel enumerations both fail with ErrBudget for
+// every worker count.
+func TestStableParallelBudgetExhaustion(t *testing.T) {
+	ov, err := transform.OV("c", workload.WinMove(workload.CycleEdges(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ground.Ground(ov, ground.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := eval.NewViewByName(g, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := stable.Options{MaxLeaves: 1}
+	_, seqErr := stable.StableModels(v, opts)
+	if !errors.Is(seqErr, stable.ErrBudget) {
+		t.Fatalf("sequential: got %v, want ErrBudget", seqErr)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		_, parErr := stable.StableModelsParallel(v, stable.ParallelOptions{Options: opts, Workers: workers})
+		if !errors.Is(parErr, stable.ErrBudget) {
+			t.Fatalf("parallel workers=%d: got %v, want ErrBudget (identical to sequential %v)",
+				workers, parErr, seqErr)
+		}
+	}
+}

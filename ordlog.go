@@ -31,6 +31,17 @@
 // The classical semantics the paper subsumes are available through the
 // translations OV, EV and ThreeV (§3–§4 of the paper) and through the
 // baseline implementations in internal/classical.
+//
+// # Concurrency
+//
+// An Engine is safe for concurrent shared use: per-component views and
+// least models are memoised with singleflight semantics, and the batched
+// front ends (Engine.QueryBatch, Engine.LeastModelAll, Engine.ProveBatch,
+// Engine.StableModelsParallel) fan independent work over a bounded worker
+// pool. Returned models are shared and must be treated as read-only; a
+// parsed Program must not be mutated (for example via MergeFacts) once an
+// Engine has been built on it. See README.md "Concurrency" for the full
+// contract.
 package ordlog
 
 import (
@@ -40,6 +51,7 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/ast"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/ground"
 	"repro/internal/interp"
@@ -75,6 +87,14 @@ type (
 	GroundOptions = ground.Options
 	// EnumOptions bounds stable-model enumeration.
 	EnumOptions = stable.Options
+	// ParallelEnumOptions adds a worker count to EnumOptions.
+	ParallelEnumOptions = stable.ParallelOptions
+	// BatchOptions sizes the worker pool of the batched query APIs.
+	BatchOptions = batch.Options
+	// QueryRequest is one unit of Engine.QueryBatch.
+	QueryRequest = core.QueryRequest
+	// QueryResult is the outcome of one QueryRequest.
+	QueryResult = core.QueryResult
 	// Consequences holds cautious/brave stable inference results.
 	Consequences = core.Consequences
 	// Diagnostic is one static-analysis finding.
