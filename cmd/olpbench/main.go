@@ -6,14 +6,20 @@
 // Usage:
 //
 //	olpbench [-exp all|figures|B1..B9] [-quick] [-parallel] [-workers n]
+//	         [-timeout d]
 //
 // -parallel (or -exp B9) runs the batched-query throughput experiment:
 // a batch of independent least-model queries fanned over the bounded
 // worker pool of internal/batch, reported as sequential-vs-parallel
-// throughput with per-worker latency histograms.
+// throughput with per-worker latency histograms. B9 additionally replays
+// the batch under a wall-clock deadline (-timeout, default a quarter of
+// the measured sequential time) and reports how many queries completed
+// versus were interrupted — exercising the engine's cooperative
+// cancellation checkpoints.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +45,7 @@ var (
 	quick    = flag.Bool("quick", false, "smaller sweeps")
 	parallel = flag.Bool("parallel", false, "run the batched-query throughput experiment (B9) only")
 	workers  = flag.Int("workers", 0, "worker pool size for B9 (0 = GOMAXPROCS)")
+	timeout  = flag.Duration("timeout", 0, "deadline for the B9 timeout scenario (0 = a quarter of the sequential time)")
 )
 
 func main() {
@@ -553,6 +560,42 @@ func b9() {
 	}
 	fmt.Printf("shared engine: %d queries over %d components in %v (%d fixpoints via singleflight)\n",
 		len(comps), depth, sharedTime, depth)
+
+	// Third scenario: the same independent batch replayed under a
+	// wall-clock deadline tight enough that only part of it can finish.
+	// Queries that complete before the deadline keep their models; the
+	// rest are interrupted at the engine's cooperative checkpoints and
+	// report ordlog.ErrInterrupted — no query blocks past the deadline.
+	budget := *timeout
+	if budget <= 0 {
+		budget = seqTime / 4
+		if budget < time.Millisecond {
+			budget = time.Millisecond
+		}
+	}
+	deadEngines := buildEngines()
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	deadStart := time.Now()
+	_, deadErrs := batch.MapCtx(ctx, deadEngines, batch.Options{Workers: nWorkers},
+		func(eng *ordlog.Engine) (*ordlog.Model, error) {
+			return eng.LeastModelCtx(ctx, "lvl0")
+		})
+	deadTime := time.Since(deadStart)
+	completed, interrupted := 0, 0
+	for _, err := range deadErrs {
+		switch {
+		case err == nil:
+			completed++
+		case ordlog.IsInterrupted(err):
+			interrupted++
+		default:
+			fmt.Fprintln(os.Stderr, "olpbench:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("timeout scenario: deadline %v -> %d/%d queries completed, %d interrupted, wall time %v\n",
+		budget, completed, nTasks, interrupted, deadTime)
 }
 
 // ---------- B6 ----------

@@ -20,6 +20,10 @@
 //	-parallel n        answer the file's queries over a worker pool of n
 //	                   goroutines (0 = sequential, -1 = GOMAXPROCS); the
 //	                   least model per component is computed once and shared
+//	-timeout d         wall-clock budget for grounding + evaluation (e.g.
+//	                   500ms, 2s; 0 = none). On expiry, enumeration prints
+//	                   whatever models were already found and exits 1 with
+//	                   an "interrupted" error
 //	-json              machine-readable output
 //	-stats             print grounding statistics
 //	-i                 interactive shell (see internal/repl)
@@ -28,6 +32,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +58,7 @@ func main() {
 	prove := flag.String("prove", "", "ground literal to prove goal-directedly")
 	edb := flag.String("edb", "", "facts file merged into the target component before grounding")
 	parallel := flag.Int("parallel", 0, "answer queries over a worker pool (0 = sequential, -1 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for grounding + evaluation (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit models and answers as JSON")
 	stats := flag.Bool("stats", false, "print grounding statistics")
 	interactive := flag.Bool("i", false, "interactive shell (optionally preloading the program)")
@@ -78,7 +85,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *jsonOut, *stats); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *jsonOut, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "ordlog:", err)
 		os.Exit(1)
 	}
@@ -127,7 +140,7 @@ func runREPL(args []string) error {
 	return repl.New(prog, core.Config{}, os.Stdout).Run(os.Stdin)
 }
 
-func run(path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel int, jsonOut, stats bool) error {
+func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel int, jsonOut, stats bool) error {
 	res, err := ordlog.ParseFile(path)
 	if err != nil {
 		return err
@@ -182,7 +195,7 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 		return fmt.Errorf("unknown -mode %q", mode)
 	}
 
-	eng, err := ordlog.NewEngine(prog, cfg)
+	eng, err := ordlog.NewEngineCtx(ctx, prog, cfg)
 	if err != nil {
 		return err
 	}
@@ -202,7 +215,7 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 		if err != nil {
 			return fmt.Errorf("-prove: %v", err)
 		}
-		tree, ok, err := eng.ProveExplain(component, lit)
+		tree, ok, err := eng.ProveExplainCtx(ctx, component, lit)
 		if err != nil {
 			return err
 		}
@@ -213,7 +226,7 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 	}
 
 	if models == "cautious" {
-		cons, err := eng.Reason(component, ordlog.EnumOptions{})
+		cons, err := eng.ReasonCtx(ctx, component, ordlog.EnumOptions{})
 		if err != nil {
 			return err
 		}
@@ -224,26 +237,38 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 		return nil
 	}
 
+	// enumErr records a budget/interruption error from enumeration; the
+	// partial models that accompany it are still printed before exiting
+	// non-zero.
 	var out []*ordlog.Model
+	var enumErr error
+	partial := func(err error) bool {
+		return errors.Is(err, ordlog.ErrEnumBudget) || errors.Is(err, ordlog.ErrInterrupted)
+	}
 	switch models {
 	case "least":
-		m, err := eng.LeastModel(component)
+		m, err := eng.LeastModelCtx(ctx, component)
 		if err != nil {
 			return err
 		}
 		out = []*ordlog.Model{m}
 	case "stable":
-		out, err = eng.StableModels(component, ordlog.EnumOptions{MaxModels: maxModels})
-		if err != nil {
+		out, err = eng.StableModelsCtx(ctx, component, ordlog.EnumOptions{MaxModels: maxModels})
+		if err != nil && !partial(err) {
 			return err
 		}
+		enumErr = err
 	case "af":
-		out, err = eng.AssumptionFreeModels(component, ordlog.EnumOptions{MaxModels: maxModels})
-		if err != nil {
+		out, err = eng.AssumptionFreeModelsCtx(ctx, component, ordlog.EnumOptions{MaxModels: maxModels})
+		if err != nil && !partial(err) {
 			return err
 		}
+		enumErr = err
 	default:
 		return fmt.Errorf("unknown -models %q", models)
+	}
+	if enumErr != nil {
+		fmt.Printf("%% enumeration incomplete (%d models found before interruption)\n", len(out))
 	}
 
 	// queryAnswers evaluates every query of the file against one model,
@@ -262,14 +287,14 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 				for i, q := range res.Queries {
 					reqs[i] = ordlog.QueryRequest{Comp: component, Query: q}
 				}
-				results := eng.QueryBatch(reqs, ordlog.BatchOptions{Workers: workers})
+				results := eng.QueryBatchCtx(ctx, reqs, ordlog.BatchOptions{Workers: workers})
 				answers := make([][]ordlog.Binding, len(results))
 				for i, r := range results {
 					answers[i] = r.Bindings // least model already computed: no errors
 				}
 				return answers
 			}
-			answers, _ := batch.Map(res.Queries, batch.Options{Workers: workers},
+			answers, _ := batch.MapCtx(ctx, res.Queries, batch.Options{Workers: workers},
 				func(q ordlog.Query) ([]ordlog.Binding, error) { return m.Query(q), nil })
 			return answers
 		}
@@ -326,7 +351,7 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 		}
 	}
 
-	if explain != "" {
+	if explain != "" && len(out) > 0 {
 		lit, err := ordlog.ParseLiteral(explain)
 		if err != nil {
 			return fmt.Errorf("-explain: %v", err)
@@ -337,5 +362,5 @@ func run(path, component, semantics, models string, maxModels int, mode, explain
 			fmt.Println("  " + line)
 		}
 	}
-	return nil
+	return enumErr
 }

@@ -8,12 +8,18 @@
 // The pool is deliberately simple: item order in, result order out. Work
 // items must be independent; the engine's per-component singleflight
 // caches make concurrent items that touch the same component cheap rather
-// than racy.
+// than racy. The ...Ctx variants stop handing out items once the context
+// is cancelled: items already running finish, items never started are
+// reported as interrupted, and nothing blocks past the cancellation.
 package batch
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/interrupt"
 )
 
 // Options configures a batch run.
@@ -34,19 +40,34 @@ func (o Options) workers() int {
 // latency histograms; items are handed out dynamically, so the mapping of
 // items to workers is not deterministic.
 func Each(n int, opts Options, fn func(worker, i int)) {
+	EachCtx(context.Background(), n, opts, fn)
+}
+
+// EachCtx runs fn(worker, i) like Each but stops handing out items once
+// ctx is cancelled. Items already handed out run to completion; the
+// return value is nil when every item ran and an interrupt.Error (matching
+// interrupt.ErrInterrupted) when the context cut the batch short.
+func EachCtx(ctx context.Context, n int, opts Options, fn func(worker, i int)) error {
+	const stage = "batch: item hand-out"
 	workers := opts.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := interrupt.Check(ctx, stage); err != nil {
+				return err
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	var next int
 	var mu sync.Mutex
 	take := func() (int, bool) {
+		if ctx.Err() != nil {
+			return 0, false
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if next >= n {
@@ -71,17 +92,41 @@ func Each(n int, opts Options, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	return interrupt.Check(ctx, stage)
 }
 
 // Map applies fn to every item over a bounded pool and returns the results
 // and errors in input order. A non-nil error for one item does not stop
-// the others.
+// the others; per-item errors are wrapped with the item index
+// ("item %d: ...") so a failure inside a large batch stays diagnosable.
 func Map[T, R any](items []T, opts Options, fn func(item T) (R, error)) ([]R, []error) {
+	return MapCtx(context.Background(), items, opts, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is cancelled no further items
+// start, and every item that never ran gets an interrupt.Error (wrapped
+// with its index) in its error slot. Results of items that did run are
+// kept — the batch degrades to partial results rather than discarding
+// finished work.
+func MapCtx[T, R any](ctx context.Context, items []T, opts Options, fn func(item T) (R, error)) ([]R, []error) {
 	results := make([]R, len(items))
 	errs := make([]error, len(items))
-	Each(len(items), opts, func(_, i int) {
-		results[i], errs[i] = fn(items[i])
+	ran := make([]bool, len(items))
+	batchErr := EachCtx(ctx, len(items), opts, func(_, i int) {
+		ran[i] = true
+		r, err := fn(items[i])
+		results[i] = r
+		if err != nil {
+			errs[i] = fmt.Errorf("item %d: %w", i, err)
+		}
 	})
+	if batchErr != nil {
+		for i := range items {
+			if !ran[i] {
+				errs[i] = fmt.Errorf("item %d: %w", i, batchErr)
+			}
+		}
+	}
 	return results, errs
 }
 

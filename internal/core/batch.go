@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/ast"
 	"repro/internal/batch"
 )
@@ -26,34 +29,70 @@ type QueryResult struct {
 // and shared by every request that targets it, so a batch of M queries
 // over K components runs K fixpoints, not M.
 func (e *Engine) QueryBatch(reqs []QueryRequest, opts batch.Options) []QueryResult {
+	return e.QueryBatchCtx(context.Background(), reqs, opts)
+}
+
+// QueryBatchCtx is QueryBatch with cooperative cancellation: once the
+// context is cancelled no further requests start, requests already running
+// are interrupted at the engine's checkpoints, and every request that
+// never produced a result carries an interrupt.Error (tagged with its
+// index). Finished results are kept — the batch degrades to partial
+// answers instead of discarding completed work.
+func (e *Engine) QueryBatchCtx(ctx context.Context, reqs []QueryRequest, opts batch.Options) []QueryResult {
 	out := make([]QueryResult, len(reqs))
-	batch.Each(len(reqs), opts, func(_, i int) {
-		m, err := e.LeastModel(reqs[i].Comp)
+	ran := make([]bool, len(reqs))
+	batchErr := batch.EachCtx(ctx, len(reqs), opts, func(_, i int) {
+		ran[i] = true
+		bindings, err := e.QueryCtx(ctx, reqs[i].Comp, reqs[i].Query)
 		if err != nil {
-			out[i] = QueryResult{Err: err}
+			out[i] = QueryResult{Err: fmt.Errorf("item %d: %w", i, err)}
 			return
 		}
-		out[i] = QueryResult{Bindings: m.Query(reqs[i].Query)}
+		out[i] = QueryResult{Bindings: bindings}
 	})
+	if batchErr != nil {
+		for i := range reqs {
+			if !ran[i] {
+				out[i] = QueryResult{Err: fmt.Errorf("item %d: %w", i, batchErr)}
+			}
+		}
+	}
 	return out
 }
 
 // LeastModelAll computes the least model of every named component ("" is
 // not accepted here; name components explicitly) over a bounded worker
-// pool. Results and errors are positional. Models are cached on the engine
-// exactly as with sequential LeastModel calls.
+// pool. Results and errors are positional; per-item errors are tagged with
+// the item index. Models are cached on the engine exactly as with
+// sequential LeastModel calls.
 func (e *Engine) LeastModelAll(comps []string, opts batch.Options) ([]*Model, []error) {
-	return batch.Map(comps, opts, func(comp string) (*Model, error) {
-		return e.LeastModel(comp)
+	return e.LeastModelAllCtx(context.Background(), comps, opts)
+}
+
+// LeastModelAllCtx is LeastModelAll with cooperative cancellation: items
+// not yet started when the context dies are skipped, in-flight fixpoints
+// are interrupted at their checkpoints, and both report an interrupt.Error
+// in their error slot. Models already computed (or cached) are returned.
+func (e *Engine) LeastModelAllCtx(ctx context.Context, comps []string, opts batch.Options) ([]*Model, []error) {
+	return batch.MapCtx(ctx, comps, opts, func(comp string) (*Model, error) {
+		return e.LeastModelCtx(ctx, comp)
 	})
 }
 
 // ProveBatch answers a slice of goal-directed membership queries over a
 // bounded worker pool. Proofs within one component share that component's
 // memoising prover and are serialised; proofs across components run in
-// parallel.
+// parallel. Per-item errors are tagged with the item index.
 func (e *Engine) ProveBatch(comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
-	return batch.Map(lits, opts, func(l ast.Literal) (bool, error) {
-		return e.Prove(comp, l)
+	return e.ProveBatchCtx(context.Background(), comp, lits, opts)
+}
+
+// ProveBatchCtx is ProveBatch with cooperative cancellation; answers
+// already proved are returned, unstarted and interrupted items carry an
+// interrupt.Error.
+func (e *Engine) ProveBatchCtx(ctx context.Context, comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
+	return batch.MapCtx(ctx, lits, opts, func(l ast.Literal) (bool, error) {
+		return e.ProveCtx(ctx, comp, l)
 	})
 }
+

@@ -4,6 +4,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -11,6 +13,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/ground"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 	"repro/internal/proof"
 	"repro/internal/stable"
 )
@@ -35,6 +38,16 @@ type Config struct {
 // interpretation. Goal-directed proofs (Prove, ProveExplain, ProveQuery)
 // share a memoising prover per component and are serialised per component;
 // queries against different components proceed in parallel.
+//
+// Cancellation contract: every evaluation entry point has a ...Ctx variant
+// that stops at the engine's cooperative checkpoints once the context is
+// cancelled or past its deadline, returning an error matching
+// interrupt.ErrInterrupted together with whatever partial results the
+// operation defines (see the per-method comments). The singleflight least-
+// model cache respects each caller's context individually: a caller whose
+// context dies stops waiting immediately, the in-flight computation keeps
+// running while any caller still wants it, and it is cancelled — without
+// poisoning the cache — only when the last waiter has given up.
 type Engine struct {
 	src *ast.OrderedProgram
 	gp  *ground.Program
@@ -43,31 +56,54 @@ type Engine struct {
 	comps map[int]*compState
 }
 
-// compState holds the lazily built per-component artifacts. The sync.Once
-// fields give singleflight semantics for the construct-once/read-many
-// artifacts; proverMu serialises uses of the memoising (and therefore
-// non-reentrant) goal-directed prover.
+// compState holds the lazily built per-component artifacts. The view is
+// construct-once/read-many under a sync.Once; the least model uses the
+// channel-based singleflight of lazyLeast so waiters can honour their own
+// contexts; proverSem (a 1-slot semaphore acquired with context) serialises
+// the memoising, non-reentrant goal-directed prover.
 type compState struct {
 	viewOnce sync.Once
 	view     *eval.View
 
-	leastOnce sync.Once
-	least     *Model
-	leastErr  error
+	least lazyLeast
 
-	proverMu sync.Mutex
-	prover   *proof.Prover
+	proverSem chan struct{}
+	prover    *proof.Prover
+}
+
+// lazyLeast is a context-aware singleflight cell for one component's least
+// model. States: idle (done == nil, !ready), running (done != nil), ready
+// (ready == true; m/err cached forever). A run executes on a private
+// context detached from any caller; each waiter selects on its own context
+// and the run's done channel. The last waiter to abandon a run cancels it;
+// an interrupted run resets the cell to idle instead of caching the
+// interruption, so the next caller simply retries.
+type lazyLeast struct {
+	mu      sync.Mutex
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	ready   bool
+	m       *Model
+	err     error
 }
 
 // NewEngine grounds the program. The program must be validated (parser
 // output always is; hand-built programs need Validate).
 func NewEngine(p *ast.OrderedProgram, cfg Config) (*Engine, error) {
+	return NewEngineCtx(context.Background(), p, cfg)
+}
+
+// NewEngineCtx is NewEngine with cooperative cancellation of the grounding
+// phase (see ground.GroundCtx for the checkpoints). No partial engine is
+// returned on interruption.
+func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config) (*Engine, error) {
 	opts := cfg.Ground
 	zero := ground.Options{}
 	if opts == zero {
 		opts = ground.DefaultOptions()
 	}
-	gp, err := ground.Ground(p, opts)
+	gp, err := ground.GroundCtx(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +116,7 @@ func (e *Engine) comp(i int) *compState {
 	defer e.mu.Unlock()
 	st, ok := e.comps[i]
 	if !ok {
-		st = &compState{}
+		st = &compState{proverSem: make(chan struct{}, 1)}
 		e.comps[i] = st
 	}
 	return st
@@ -165,64 +201,181 @@ func (e *Engine) viewAt(i int) *eval.View {
 // cached per component with singleflight semantics; callers must not
 // mutate the returned model's interpretation.
 func (e *Engine) LeastModel(comp string) (*Model, error) {
+	return e.LeastModelCtx(context.Background(), comp)
+}
+
+// LeastModelCtx is LeastModel with cooperative cancellation. The
+// singleflight cache stays single-flight: concurrent callers share one
+// fixpoint computation, but each waiter honours its own context — a caller
+// whose context dies returns an interrupt.Error immediately while the
+// computation keeps serving the remaining waiters, and only when every
+// waiter has abandoned it is the computation itself cancelled (and the
+// cache left clean for the next caller to retry). Deterministic evaluation
+// errors are cached exactly as with LeastModel.
+func (e *Engine) LeastModelCtx(ctx context.Context, comp string) (*Model, error) {
 	i, err := e.resolve(comp)
 	if err != nil {
 		return nil, err
 	}
 	st := e.comp(i)
-	st.leastOnce.Do(func() {
-		v := e.viewAt(i)
-		in, err := v.LeastModel()
-		if err != nil {
-			st.leastErr = err
-			return
+	ll := &st.least
+	for {
+		ll.mu.Lock()
+		if ll.ready {
+			m, err := ll.m, ll.err
+			ll.mu.Unlock()
+			return m, err
 		}
-		st.least = &Model{view: v, in: in}
-	})
-	return st.least, st.leastErr
+		if err := ctx.Err(); err != nil {
+			ll.mu.Unlock()
+			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: err}
+		}
+		if ll.done == nil {
+			// Start the computation on a context detached from any one
+			// caller: its lifetime is "some waiter still wants this".
+			runCtx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			ll.done, ll.cancel = done, cancel
+			go func() {
+				v := e.viewAt(i)
+				in, err := v.LeastModelCtx(runCtx)
+				ll.mu.Lock()
+				if err != nil && errors.Is(err, interrupt.ErrInterrupted) {
+					// Abandoned run: reset to idle rather than caching the
+					// interruption — the result is a property of the
+					// program, not of the callers that gave up on it.
+					ll.done, ll.cancel = nil, nil
+				} else {
+					ll.ready = true
+					if err != nil {
+						ll.err = err
+					} else {
+						ll.m = &Model{view: v, in: in}
+					}
+					ll.done, ll.cancel = nil, nil
+				}
+				ll.mu.Unlock()
+				cancel()
+				close(done)
+			}()
+		}
+		done := ll.done
+		cancel := ll.cancel
+		ll.waiters++
+		ll.mu.Unlock()
+
+		select {
+		case <-done:
+			ll.mu.Lock()
+			ll.waiters--
+			ll.mu.Unlock()
+			// Loop: read the cached result, or retry after an abandoned run.
+		case <-ctx.Done():
+			ll.mu.Lock()
+			ll.waiters--
+			if ll.waiters == 0 && ll.done == done {
+				// Last interested caller is gone: stop the computation. The
+				// run observes the cancellation at its next checkpoint and
+				// resets the cell (unless it finished first, in which case
+				// the result is cached anyway).
+				cancel()
+			}
+			ll.mu.Unlock()
+			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: ctx.Err()}
+		}
+	}
+}
+
+// Query evaluates a conjunctive query against the component's least model
+// and returns one binding per solution (see Model.Query).
+func (e *Engine) Query(comp string, q ast.Query) ([]Binding, error) {
+	return e.QueryCtx(context.Background(), comp, q)
+}
+
+// QueryCtx is Query with cooperative cancellation of the underlying
+// least-model computation. Match enumeration over an already-materialised
+// model is not interruptible (it is linear in the model and fast); the
+// fixpoint is the unbounded part.
+func (e *Engine) QueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
+	m, err := e.LeastModelCtx(ctx, comp)
+	if err != nil {
+		return nil, err
+	}
+	return m.Query(q), nil
 }
 
 // AssumptionFreeModels enumerates the assumption-free models in the
-// component (Definition 7).
+// component (Definition 7). On ErrBudget the models found before the
+// budget ran out are returned alongside the error.
 func (e *Engine) AssumptionFreeModels(comp string, opts stable.Options) ([]*Model, error) {
+	return e.AssumptionFreeModelsCtx(context.Background(), comp, opts)
+}
+
+// AssumptionFreeModelsCtx is AssumptionFreeModels with cooperative
+// cancellation: a cancelled or expired context stops the search within one
+// DFS checkpoint and returns the (possibly empty, always non-nil) partial
+// model set alongside an interrupt.Error.
+func (e *Engine) AssumptionFreeModelsCtx(ctx context.Context, comp string, opts stable.Options) ([]*Model, error) {
 	v, err := e.View(comp)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := stable.AssumptionFreeModels(v, opts)
-	if err != nil {
-		return nil, err
+	ms, enumErr := stable.AssumptionFreeModelsCtx(ctx, v, opts)
+	if enumErr != nil && !partialEnumErr(enumErr) {
+		return nil, enumErr
 	}
-	return wrapModels(v, ms), nil
+	return wrapModels(v, ms), enumErr
 }
 
 // StableModels enumerates the stable models in the component — the maximal
-// assumption-free models (Definition 9).
+// assumption-free models (Definition 9). On ErrBudget the maximal models
+// of the truncated enumeration are returned alongside the error.
 func (e *Engine) StableModels(comp string, opts stable.Options) ([]*Model, error) {
+	return e.StableModelsCtx(context.Background(), comp, opts)
+}
+
+// StableModelsCtx is StableModels with cooperative cancellation and the
+// same partial-result contract as AssumptionFreeModelsCtx.
+func (e *Engine) StableModelsCtx(ctx context.Context, comp string, opts stable.Options) ([]*Model, error) {
 	v, err := e.View(comp)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := stable.StableModels(v, opts)
-	if err != nil {
-		return nil, err
+	ms, enumErr := stable.StableModelsCtx(ctx, v, opts)
+	if enumErr != nil && !partialEnumErr(enumErr) {
+		return nil, enumErr
 	}
-	return wrapModels(v, ms), nil
+	return wrapModels(v, ms), enumErr
 }
 
 // StableModelsParallel enumerates the stable models with a worker pool
 // (see stable.AssumptionFreeModelsParallel for the exact semantics of the
-// shared budgets).
+// shared budgets). On ErrBudget the maximal models of the truncated
+// enumeration are returned alongside the error, exactly as with the
+// sequential StableModels.
 func (e *Engine) StableModelsParallel(comp string, opts stable.ParallelOptions) ([]*Model, error) {
+	return e.StableModelsParallelCtx(context.Background(), comp, opts)
+}
+
+// StableModelsParallelCtx is StableModelsParallel with cooperative
+// cancellation: workers stop on the context's cancellation and the partial
+// model set collected so far is returned alongside an interrupt.Error.
+func (e *Engine) StableModelsParallelCtx(ctx context.Context, comp string, opts stable.ParallelOptions) ([]*Model, error) {
 	v, err := e.View(comp)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := stable.StableModelsParallel(v, opts)
-	if err != nil {
-		return nil, err
+	ms, enumErr := stable.StableModelsParallelCtx(ctx, v, opts)
+	if enumErr != nil && !partialEnumErr(enumErr) {
+		return nil, enumErr
 	}
-	return wrapModels(v, ms), nil
+	return wrapModels(v, ms), enumErr
+}
+
+// partialEnumErr reports whether an enumeration error carries partial
+// results (budget exhaustion or interruption) rather than failure.
+func partialEnumErr(err error) bool {
+	return errors.Is(err, stable.ErrBudget) || errors.Is(err, interrupt.ErrInterrupted)
 }
 
 func wrapModels(v *eval.View, ms []*interp.Interp) []*Model {

@@ -1,26 +1,32 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 	"repro/internal/proof"
 	"repro/internal/stable"
 	"repro/internal/unify"
 )
 
-// prover returns the shared memoising prover for component position i
-// together with the mutex that serialises its (non-reentrant) use. Callers
-// hold the mutex across every Prover method call.
-func (e *Engine) prover(i int) (*proof.Prover, *sync.Mutex) {
+// prover acquires the component's 1-slot prover semaphore — honouring the
+// caller's context while queueing — and returns the shared memoising
+// prover plus the release function. The prover is non-reentrant, so
+// callers hold the slot across every Prover method call.
+func (e *Engine) prover(ctx context.Context, i int) (*proof.Prover, func(), error) {
 	st := e.comp(i)
-	st.proverMu.Lock()
+	select {
+	case st.proverSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, &interrupt.Error{Stage: "core: prover queue", Cause: ctx.Err()}
+	}
 	if st.prover == nil {
 		st.prover = proof.New(e.viewAt(i), 0)
 	}
-	return st.prover, &st.proverMu
+	return st.prover, func() { <-st.proverSem }, nil
 }
 
 // Prove answers a least-model membership query for one ground literal in
@@ -28,6 +34,13 @@ func (e *Engine) prover(i int) (*proof.Prover, *sync.Mutex) {
 // materialised). Literals over atoms outside the relevant Herbrand base
 // are unprovable.
 func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
+	return e.ProveCtx(context.Background(), comp, l)
+}
+
+// ProveCtx is Prove with cooperative cancellation: both the wait for the
+// per-component prover slot and the goal recursion itself honour the
+// context (see proof.Prover.ProveCtx for the checkpoints).
+func (e *Engine) ProveCtx(ctx context.Context, comp string, l ast.Literal) (bool, error) {
 	i, err := e.resolve(comp)
 	if err != nil {
 		return false, err
@@ -39,15 +52,23 @@ func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	pr, mu := e.prover(i)
-	defer mu.Unlock()
-	return pr.Prove(interp.MkLit(id, l.Neg))
+	pr, release, err := e.prover(ctx, i)
+	if err != nil {
+		return false, err
+	}
+	defer release()
+	return pr.ProveCtx(ctx, interp.MkLit(id, l.Neg))
 }
 
 // ProveExplain proves the literal goal-directedly and, on success, returns
 // the rendered derivation tree: the firing rule, its body subproofs, and
 // one blocking proof per competitor.
 func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) {
+	return e.ProveExplainCtx(context.Background(), comp, l)
+}
+
+// ProveExplainCtx is ProveExplain with cooperative cancellation.
+func (e *Engine) ProveExplainCtx(ctx context.Context, comp string, l ast.Literal) (string, bool, error) {
 	i, err := e.resolve(comp)
 	if err != nil {
 		return "", false, err
@@ -59,9 +80,12 @@ func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) 
 	if !ok {
 		return "", false, nil
 	}
-	pr, mu := e.prover(i)
-	defer mu.Unlock()
-	tree, ok, err := pr.Explain(interp.MkLit(id, l.Neg))
+	pr, release, err := e.prover(ctx, i)
+	if err != nil {
+		return "", false, err
+	}
+	defer release()
+	tree, ok, err := pr.ExplainCtx(ctx, interp.MkLit(id, l.Neg))
 	if err != nil || !ok {
 		return "", false, err
 	}
@@ -74,12 +98,23 @@ func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) 
 // only the needed parts of the least model are computed. Builtins filter
 // as usual.
 func (e *Engine) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
+	return e.ProveQueryCtx(context.Background(), comp, q)
+}
+
+// ProveQueryCtx is ProveQuery with cooperative cancellation: the per-goal
+// proofs poll the context, and an interruption abandons the remaining
+// candidates (no partial binding set is returned — a prefix of the answer
+// set has no meaningful semantics for a conjunctive query).
+func (e *Engine) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
 	i, err := e.resolve(comp)
 	if err != nil {
 		return nil, err
 	}
-	pr, mu := e.prover(i)
-	defer mu.Unlock()
+	pr, release, err := e.prover(ctx, i)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	tab := e.gp.Tab
 	var out []Binding
 	seen := make(map[string]bool)
@@ -112,7 +147,7 @@ func (e *Engine) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
 		for _, id := range tab.OfPred(l.Atom.Key()) {
 			mark := s.Mark()
 			if unify.MatchAtoms(s, l.Atom, tab.Atom(id)) {
-				proved, err := pr.Prove(interp.MkLit(id, l.Neg))
+				proved, err := pr.ProveCtx(ctx, interp.MkLit(id, l.Neg))
 				if err != nil {
 					s.Undo(mark)
 					return err
@@ -144,11 +179,19 @@ type Consequences struct {
 // Reason enumerates the stable models of the component and returns its
 // cautious and brave consequences.
 func (e *Engine) Reason(comp string, opts stable.Options) (*Consequences, error) {
+	return e.ReasonCtx(context.Background(), comp, opts)
+}
+
+// ReasonCtx is Reason with cooperative cancellation. Interruption fails
+// the whole call: cautious/brave consequences over a truncated model
+// family would be unsound (cautious could contain literals a missing
+// stable model refutes), so no partial Consequences value is returned.
+func (e *Engine) ReasonCtx(ctx context.Context, comp string, opts stable.Options) (*Consequences, error) {
 	v, err := e.View(comp)
 	if err != nil {
 		return nil, err
 	}
-	r, err := stable.Reason(v, opts)
+	r, err := stable.ReasonCtx(ctx, v, opts)
 	if err != nil {
 		return nil, err
 	}

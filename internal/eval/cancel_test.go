@@ -1,0 +1,30 @@
+// Cancellation checkpoints of the fixpoint evaluators: a dead context
+// fails immediately with the interrupt sentinel, a live one is unaffected.
+package eval_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ground"
+	"repro/internal/interrupt"
+)
+
+func TestLeastModelCtxCancelled(t *testing.T) {
+	v := view(t, fig1, "c1", ground.ModeSmart)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := v.LeastModelCtx(ctx); !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("LeastModelCtx: err = %v, want ErrInterrupted", err)
+	}
+	if _, err := v.LeastModelNaiveCtx(ctx); !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("LeastModelNaiveCtx: err = %v, want ErrInterrupted", err)
+	}
+	// No partial interpretation accompanies the error: a truncated prefix
+	// of lfp(V) is not a model of anything.
+	m, err := v.LeastModelCtx(context.Background())
+	if err != nil || m == nil {
+		t.Fatalf("live context after abandoned attempts: %v, %v", m, err)
+	}
+}

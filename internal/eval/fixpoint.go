@@ -1,10 +1,20 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 )
+
+// checkStride is the cooperative-cancellation polling interval of the
+// fixpoint loops: one context poll per this many worklist pops (or naive
+// rounds the naive engine does per poll — every round, since rounds are
+// O(rules) each). Small enough that a cancelled context is observed well
+// within milliseconds on any real program, large enough to keep the poll
+// off the profile.
+const checkStride = 256
 
 // VOnce applies the ordered immediate transformation V once (Definition 4):
 // it returns the set of head literals of rules that are applicable and
@@ -28,8 +38,17 @@ func (v *View) VOnce(in *interp.Interp) (*interp.Interp, error) {
 // interpretation. It is the reference implementation used to cross-check
 // the semi-naive engine.
 func (v *View) LeastModelNaive() (*interp.Interp, error) {
+	return v.LeastModelNaiveCtx(context.Background())
+}
+
+// LeastModelNaiveCtx is LeastModelNaive with a cancellation checkpoint per
+// naive round.
+func (v *View) LeastModelNaiveCtx(ctx context.Context) (*interp.Interp, error) {
 	in := v.NewInterp()
 	for {
+		if err := interrupt.Check(ctx, "eval: naive fixpoint round"); err != nil {
+			return nil, err
+		}
 		next, err := v.VOnce(in)
 		if err != nil {
 			return nil, err
@@ -61,7 +80,7 @@ type FixpointStats struct {
 // counters describing the run.
 func (v *View) LeastModelStats() (*interp.Interp, FixpointStats, error) {
 	var st FixpointStats
-	in, err := v.leastModel(&st)
+	in, err := v.leastModel(context.Background(), &st)
 	return in, st, err
 }
 
@@ -75,10 +94,23 @@ func (v *View) LeastModelStats() (*interp.Interp, FixpointStats, error) {
 // derived literals compute the fixpoint in time linear in the total number
 // of body occurrences and competitor edges.
 func (v *View) LeastModel() (*interp.Interp, error) {
-	return v.leastModel(nil)
+	return v.leastModel(context.Background(), nil)
 }
 
-func (v *View) leastModel(stats *FixpointStats) (*interp.Interp, error) {
+// LeastModelCtx is LeastModel with cooperative cancellation: the worklist
+// loop polls the context every checkStride pops (and once up front), so a
+// cancelled or expired context stops the fixpoint within one checkpoint
+// interval and returns an interrupt.Error. No partial interpretation is
+// returned: a truncated prefix of lfp(V) is not a model of anything.
+func (v *View) LeastModelCtx(ctx context.Context) (*interp.Interp, error) {
+	return v.leastModel(ctx, nil)
+}
+
+func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.Interp, error) {
+	const stage = "eval: semi-naive fixpoint"
+	if err := interrupt.Check(ctx, stage); err != nil {
+		return nil, err
+	}
 	n := len(v.heads)
 	unsat := make([]int32, n)
 	unblocked := make([]int32, n)
@@ -120,7 +152,14 @@ func (v *View) leastModel(stats *FixpointStats) (*interp.Interp, error) {
 			}
 		}
 	}
+	pops := 0
 	for len(queue) > 0 {
+		pops++
+		if pops%checkStride == 0 {
+			if err := interrupt.Check(ctx, stage); err != nil {
+				return nil, err
+			}
+		}
 		lit := queue[0]
 		queue = queue[1:]
 		// The new literal satisfies body occurrences of itself...

@@ -1,0 +1,41 @@
+// Cancellation checkpoints of the grounder: a dead context stops both the
+// smart (relevance-based) and full grounding paths with the interrupt
+// sentinel; no partial ground program is returned.
+package ground
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/interrupt"
+)
+
+func TestGroundCtxCancelled(t *testing.T) {
+	p := parse(t, `
+module c {
+  edge(a, b). edge(b, c). edge(c, d).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- edge(X, Y), path(Y, Z).
+}
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{ModeSmart, ModeFull} {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		g, err := GroundCtx(ctx, p, opts)
+		if !errors.Is(err, interrupt.ErrInterrupted) {
+			t.Fatalf("mode %v: err = %v, want ErrInterrupted", mode, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode %v: err = %v, want to unwrap to context.Canceled", mode, err)
+		}
+		if g != nil {
+			t.Fatalf("mode %v: partial ground program returned alongside the interrupt", mode)
+		}
+	}
+	if _, err := GroundCtx(context.Background(), p, DefaultOptions()); err != nil {
+		t.Fatalf("live context after abandoned attempts: %v", err)
+	}
+}

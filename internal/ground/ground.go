@@ -1,6 +1,7 @@
 package ground
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 	"repro/internal/unify"
 )
 
@@ -126,6 +128,15 @@ func (g *Program) Dump(w io.Writer) error {
 // Ground instantiates the program. The source program must have been
 // validated (parser output always is).
 func Ground(p *ast.OrderedProgram, opts Options) (*Program, error) {
+	return GroundCtx(context.Background(), p, opts)
+}
+
+// GroundCtx is Ground with cooperative cancellation: the grounder polls
+// the context between grounding strata (possible-atom fixpoint, fireable
+// pass, competitor pass; per rule in full mode) and every few hundred
+// emitted instances, so a cancelled or expired context stops grounding
+// within one checkpoint interval and returns an interrupt.Error.
+func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Program, error) {
 	opts.fill()
 	uni, err := Universe(p, opts.MaxDepth, opts.MaxUniverse)
 	if err != nil {
@@ -133,6 +144,7 @@ func Ground(p *ast.OrderedProgram, opts Options) (*Program, error) {
 	}
 	g := &grounder{
 		src:  p,
+		ctx:  ctx,
 		opts: opts,
 		uni:  uni,
 		tab:  interp.NewTable(),
@@ -154,11 +166,16 @@ func Ground(p *ast.OrderedProgram, opts Options) (*Program, error) {
 
 type grounder struct {
 	src   *ast.OrderedProgram
+	ctx   context.Context
 	opts  Options
 	uni   []ast.Term
 	tab   *interp.Table
 	rules []Rule
 	seen  map[string]bool // dedup: component + canonical instance text
+	// emitted counts instantiate calls for the stride-based context poll
+	// (a single rule can expand to universe^vars instances, so per-stratum
+	// checkpoints alone would not bound the interruption latency).
+	emitted int
 	// factComps maps ground-fact atoms (canonical text) to the components
 	// asserting them; built by predShapes for the competitor pass.
 	factComps map[string][]int
@@ -171,6 +188,12 @@ type grounder struct {
 // seen. Instances whose builtins fail are dropped. Returns an error only
 // on budget overrun or a non-ground instance (an internal bug).
 func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
+	g.emitted++
+	if g.emitted%256 == 0 {
+		if err := g.check("instance emission"); err != nil {
+			return err
+		}
+	}
 	for _, b := range r.Builtins {
 		gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
 		holds, ok := ast.EvalBuiltin(gb)
@@ -217,6 +240,11 @@ func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
 	return nil
 }
 
+// check is the grounder's cooperative checkpoint.
+func (g *grounder) check(stage string) error {
+	return interrupt.Check(g.ctx, "ground: "+stage)
+}
+
 func appendInt32(b []byte, v int32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
@@ -236,6 +264,9 @@ func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {
 func (g *grounder) full() error {
 	for ci, c := range g.src.Components {
 		for _, r := range c.Rules {
+			if err := g.check("full-mode rule"); err != nil {
+				return err
+			}
 			vars := r.Vars()
 			if len(vars) == 0 {
 				if err := g.instantiate(ci, r, unify.NewSubst()); err != nil {
@@ -269,6 +300,9 @@ func (g *grounder) full() error {
 	}
 	// Intern the complete Herbrand base: every predicate over the universe.
 	for _, k := range g.src.Predicates() {
+		if err := g.check("Herbrand-base interning"); err != nil {
+			return err
+		}
 		if err := g.internAllAtoms(k); err != nil {
 			return err
 		}

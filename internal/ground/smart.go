@@ -89,6 +89,9 @@ func (g *grounder) smart() error {
 		}
 		return true
 	}
+	if err := g.check("possible-atom fixpoint"); err != nil {
+		return err
+	}
 	if _, err := datalog.Eval(st, dl, datalog.Options{MaxDerived: g.opts.MaxAtoms, AtomFilter: filter}); err != nil {
 		if err == datalog.ErrBudget {
 			return &ErrBudget{"possible-atom", g.opts.MaxAtoms}
@@ -98,6 +101,9 @@ func (g *grounder) smart() error {
 
 	// Fireable pass.
 	for _, sr := range srcs {
+		if err := g.check("fireable pass"); err != nil {
+			return err
+		}
 		if err := g.joinInstantiate(st, sr.comp, sr.r, sr.body); err != nil {
 			return err
 		}
@@ -123,6 +129,9 @@ func (g *grounder) smart() error {
 	}
 	scratch := unify.NewSubst()
 	for _, tg := range targets {
+		if err := g.check("competitor pass"); err != nil {
+			return err
+		}
 		wantKey := tg.atom.Key()
 		wantNeg := !tg.neg // competitor head sign
 		for ci, c := range g.src.Components {

@@ -1,0 +1,56 @@
+// Package interrupt defines the engine-wide cancellation sentinel and the
+// cooperative checkpoint helper every evaluation layer polls. The contract
+// (README.md "Concurrency", DESIGN.md §7): a ...Ctx entry point that
+// observes a cancelled or expired context stops at its next checkpoint and
+// returns an *Error alongside whatever partial results it had already
+// produced — like the leaf-budget ErrBudget errors, cancellation degrades
+// gracefully instead of discarding work.
+package interrupt
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrInterrupted is the sentinel every context-induced failure matches:
+// errors.Is(err, ErrInterrupted) holds for any error produced by Check,
+// regardless of which checkpoint fired or whether the cause was
+// cancellation or a deadline.
+var ErrInterrupted = errors.New("evaluation interrupted by context")
+
+// Error reports that evaluation stopped at a cooperative checkpoint. It
+// matches ErrInterrupted via Is and unwraps to the context's own error, so
+// errors.Is also answers context.Canceled / context.DeadlineExceeded
+// correctly.
+type Error struct {
+	// Stage names the checkpoint that observed the cancellation
+	// (e.g. "eval: semi-naive fixpoint").
+	Stage string
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return "interrupted at " + e.Stage + ": " + e.Cause.Error() }
+
+// Is matches the package sentinel.
+func (e *Error) Is(target error) bool { return target == ErrInterrupted }
+
+// Unwrap exposes the context's error.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// IsInterrupted reports whether err records a context interruption
+// (convenience for errors.Is(err, ErrInterrupted)).
+func IsInterrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
+
+// Check is the cooperative checkpoint: it returns nil while ctx is live
+// and an *Error naming the stage once ctx is cancelled or past its
+// deadline. Polling a background context is free, so hot loops call Check
+// unconditionally (at a stride) rather than branching on ctx identity.
+func Check(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return &Error{Stage: stage, Cause: err}
+	}
+	return nil
+}

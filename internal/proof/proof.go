@@ -19,8 +19,11 @@
 package proof
 
 import (
+	"context"
+
 	"repro/internal/eval"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 )
 
 // Prover answers least-model membership queries against a view.
@@ -30,6 +33,7 @@ type Prover struct {
 	failed   map[interp.Lit]bool // memo: literal is not in lfp(V)
 	calls    int
 	maxCall  int
+	ctx      context.Context    // context of the in-flight Prove/Explain call
 	stageMap map[interp.Lit]int // lazily built by Explain
 }
 
@@ -46,6 +50,7 @@ func New(v *eval.View, maxCalls int) *Prover {
 		proven:  make(map[interp.Lit]bool),
 		failed:  make(map[interp.Lit]bool),
 		maxCall: maxCalls,
+		ctx:     context.Background(),
 	}
 }
 
@@ -58,7 +63,20 @@ func (ErrBudget) Error() string { return "proof: call budget exceeded" }
 // Prove reports whether the ground literal is in the least model of the
 // prover's component. Results are memoised across calls.
 func (p *Prover) Prove(l interp.Lit) (bool, error) {
+	return p.ProveCtx(context.Background(), l)
+}
+
+// ProveCtx is Prove with cooperative cancellation: the goal recursion
+// polls the context every 256 goal invocations (and once up front), so a
+// cancelled or expired context fails the proof with an interrupt.Error.
+// Memoised results accumulated before the interruption are kept — they
+// are sound, only the in-flight call tree is abandoned.
+func (p *Prover) ProveCtx(ctx context.Context, l interp.Lit) (bool, error) {
+	if err := interrupt.Check(ctx, "proof: goal entry"); err != nil {
+		return false, err
+	}
 	p.calls = 0
+	p.ctx = ctx
 	inProgress := make(map[interp.Lit]bool)
 	ok, _, err := p.prove(l, inProgress)
 	return ok, err
@@ -80,6 +98,11 @@ func (p *Prover) prove(l interp.Lit, inProgress map[interp.Lit]bool) (bool, bool
 	p.calls++
 	if p.calls > p.maxCall {
 		return false, true, ErrBudget{}
+	}
+	if p.calls%256 == 0 {
+		if err := interrupt.Check(p.ctx, "proof: goal recursion"); err != nil {
+			return false, true, err
+		}
 	}
 	inProgress[l] = true
 	defer delete(inProgress, l)

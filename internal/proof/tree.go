@@ -1,10 +1,12 @@
 package proof
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 )
 
 // Tree is a derivation tree witnessing least-model membership: the goal
@@ -36,7 +38,13 @@ type Refutation struct {
 // (never circular) regardless of rule ordering. Shared subproofs make the
 // tree a DAG; rendering elides repeats.
 func (p *Prover) Explain(l interp.Lit) (*Tree, bool, error) {
-	ok, err := p.Prove(l)
+	return p.ExplainCtx(context.Background(), l)
+}
+
+// ExplainCtx is Explain with cooperative cancellation: both the proof
+// search and the stage computation poll the context.
+func (p *Prover) ExplainCtx(ctx context.Context, l interp.Lit) (*Tree, bool, error) {
+	ok, err := p.ProveCtx(ctx, l)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -108,6 +116,9 @@ func (p *Prover) stages() (map[interp.Lit]int, error) {
 	stages := make(map[interp.Lit]int)
 	cur := interp.New(p.v.G.Tab)
 	for round := 1; ; round++ {
+		if err := interrupt.Check(p.ctx, "proof: stage computation"); err != nil {
+			return nil, err
+		}
 		next, err := p.v.VOnce(cur)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,184 @@
+// Cancellation and budget-exhaustion contract tests: sequential and
+// parallel enumeration must return partial model sets alongside the
+// ErrBudget / interrupt.ErrInterrupted sentinels, never discarding work
+// already done, and a cancelled context must stop the search within one
+// DFS checkpoint.
+package stable_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/interrupt"
+	"repro/internal/stable"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// winMoveView builds the OV(win-move cycle) view used by the contract
+// tests: even cycles have several assumption-free models, found early by
+// the true-first branch order, so a small leaf budget yields a non-empty
+// partial family.
+func winMoveView(t *testing.T, n int) *eval.View {
+	t.Helper()
+	ov, err := transform.OV("c", workload.WinMove(workload.CycleEdges(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ground.Ground(ov, ground.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := eval.NewViewByName(g, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestBudgetPartialContract: on budget exhaustion the sequential and
+// parallel enumerations agree on the contract — the sentinel ErrBudget is
+// returned together with the models found so far, each of which is a
+// genuine assumption-free model, and StableModels additionally filters the
+// truncated family to its maximal elements.
+func TestBudgetPartialContract(t *testing.T) {
+	v := winMoveView(t, 8)
+	opts := stable.Options{MaxLeaves: 4}
+
+	af, err := stable.AssumptionFreeModels(v, opts)
+	if !errors.Is(err, stable.ErrBudget) {
+		t.Fatalf("sequential af: err = %v, want ErrBudget", err)
+	}
+	if len(af) == 0 {
+		t.Fatalf("sequential af: no partial models alongside ErrBudget")
+	}
+	for _, m := range af {
+		if !v.IsAssumptionFree(m) {
+			t.Errorf("sequential af: partial result %v is not assumption-free", m)
+		}
+	}
+
+	st, err := stable.StableModels(v, opts)
+	if !errors.Is(err, stable.ErrBudget) {
+		t.Fatalf("sequential stable: err = %v, want ErrBudget", err)
+	}
+	if len(st) == 0 {
+		t.Fatalf("sequential stable: no partial models alongside ErrBudget")
+	}
+	for i, m := range st {
+		for j, o := range st {
+			if i != j && m.ProperSubsetOf(o) {
+				t.Errorf("sequential stable: partial result %d not maximal within family", i)
+			}
+		}
+	}
+
+	// Parallel: identical contract for every worker count. The exact
+	// partial family may differ (subtrees race for the shared budget), but
+	// the sentinel, the non-nil model slice, and the soundness of every
+	// returned model must match the sequential behaviour.
+	for _, workers := range []int{2, 4, 8} {
+		popts := stable.ParallelOptions{Options: opts, Workers: workers}
+		paf, err := stable.AssumptionFreeModelsParallel(v, popts)
+		if !errors.Is(err, stable.ErrBudget) {
+			t.Fatalf("parallel af workers=%d: err = %v, want ErrBudget", workers, err)
+		}
+		for _, m := range paf {
+			if !v.IsAssumptionFree(m) {
+				t.Errorf("parallel af workers=%d: partial result is not assumption-free", workers)
+			}
+		}
+		pst, err := stable.StableModelsParallel(v, popts)
+		if !errors.Is(err, stable.ErrBudget) {
+			t.Fatalf("parallel stable workers=%d: err = %v, want ErrBudget", workers, err)
+		}
+		for i, m := range pst {
+			for j, o := range pst {
+				if i != j && m.ProperSubsetOf(o) {
+					t.Errorf("parallel stable workers=%d: partial result %d not maximal", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCancelledContextUpfront: an already-cancelled context fails the
+// enumeration immediately with an error matching both ErrInterrupted and
+// context.Canceled; the partial model slice is empty.
+func TestCancelledContextUpfront(t *testing.T) {
+	v := winMoveView(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	check := func(what string, ms []*interp.Interp, err error) {
+		t.Helper()
+		if !errors.Is(err, interrupt.ErrInterrupted) {
+			t.Fatalf("%s: err = %v, want ErrInterrupted", what, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want to unwrap to context.Canceled", what, err)
+		}
+		if len(ms) != 0 {
+			t.Fatalf("%s: %d models from an enumeration that never ran", what, len(ms))
+		}
+	}
+	ms, err := stable.AssumptionFreeModelsCtx(ctx, v, stable.Options{})
+	check("af", ms, err)
+	ms, err = stable.StableModelsCtx(ctx, v, stable.Options{})
+	check("stable", ms, err)
+	ms, err = stable.AssumptionFreeModelsParallelCtx(ctx, v, stable.ParallelOptions{Workers: 4})
+	check("parallel af", ms, err)
+	ms, err = stable.StableModelsParallelCtx(ctx, v, stable.ParallelOptions{Workers: 4})
+	check("parallel stable", ms, err)
+
+	if _, err := stable.ReasonCtx(ctx, v, stable.Options{}); !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("ReasonCtx: err = %v, want ErrInterrupted (no partial consequences)", err)
+	}
+}
+
+// TestDeadlineMidEnumeration: a deadline expiring mid-search stops the DFS
+// within one checkpoint interval — far sooner than the full exhaustive
+// search would finish — and the models already found survive alongside the
+// ErrInterrupted error. NoPrune makes the n=12 search take hundreds of
+// milliseconds, so a 50ms deadline reliably interrupts it.
+func TestDeadlineMidEnumeration(t *testing.T) {
+	v := winMoveView(t, 12)
+	opts := stable.Options{NoPrune: true, MaxLeaves: 1 << 30}
+
+	run := func(what string, f func(ctx context.Context) ([]*interp.Interp, error)) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		ms, err := f(ctx)
+		elapsed := time.Since(start)
+		if elapsed > 2*time.Second {
+			t.Fatalf("%s: took %v, want the deadline to cut the search well under 2s", what, elapsed)
+		}
+		if err == nil {
+			// The machine finished the whole search inside the deadline;
+			// nothing to assert about interruption.
+			t.Logf("%s: search finished before the deadline (%v)", what, elapsed)
+			return
+		}
+		if !errors.Is(err, interrupt.ErrInterrupted) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want ErrInterrupted unwrapping to DeadlineExceeded", what, err)
+		}
+		for _, m := range ms {
+			if !v.IsAssumptionFree(m) {
+				t.Errorf("%s: interrupted partial result is not assumption-free", what)
+			}
+		}
+	}
+	run("sequential", func(ctx context.Context) ([]*interp.Interp, error) {
+		return stable.AssumptionFreeModelsCtx(ctx, v, opts)
+	})
+	run("parallel", func(ctx context.Context) ([]*interp.Interp, error) {
+		return stable.AssumptionFreeModelsParallelCtx(ctx, v, stable.ParallelOptions{Options: opts, Workers: 4})
+	})
+}

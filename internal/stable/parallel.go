@@ -1,12 +1,14 @@
 package stable
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 )
 
 // ParallelOptions extends Options with a worker count for the three-valued
@@ -22,17 +24,27 @@ type ParallelOptions struct {
 // AssumptionFreeModelsParallel enumerates assumption-free models with a
 // worker pool. It returns the same family as AssumptionFreeModels (order
 // may differ). MaxModels is treated as a lower bound on the collected
-// models rather than an exact cut-off, since subtrees race.
+// models rather than an exact cut-off, since subtrees race; once the
+// shared count reaches it, workers stop taking subtrees.
 func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp.Interp, error) {
+	return AssumptionFreeModelsParallelCtx(context.Background(), v, opts)
+}
+
+// AssumptionFreeModelsParallelCtx is AssumptionFreeModelsParallel with
+// cooperative cancellation: workers poll the context per subtree and per
+// DFS node and stop on cancellation, returning the models collected so
+// far alongside an interrupt.Error — identical partial-result semantics
+// to the sequential enumeration (and to ErrBudget).
+func AssumptionFreeModelsParallelCtx(ctx context.Context, v *eval.View, opts ParallelOptions) ([]*interp.Interp, error) {
 	opts.Options.fill()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return AssumptionFreeModels(v, opts.Options)
+		return AssumptionFreeModelsCtx(ctx, v, opts.Options)
 	}
-	least, err := v.LeastModel()
+	least, err := v.LeastModelCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +79,8 @@ func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp
 	taskCh := make(chan task, tasks)
 	// Generate every prefix assignment (invalid sign choices are skipped
 	// inside the worker via the posP/negP check, mirroring the sequential
-	// branch conditions).
+	// branch conditions). The channel buffer holds every assignment, so
+	// the generator never blocks and cannot leak when workers bail early.
 	var gen func(k int, cur []int8)
 	gen = func(k int, cur []int8) {
 		if k == prefix {
@@ -90,12 +103,15 @@ func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp
 	}()
 
 	var (
-		mu       sync.Mutex
-		found    []*interp.Interp
-		leaves   atomic.Int64
-		overflow atomic.Bool
-		wg       sync.WaitGroup
+		mu          sync.Mutex
+		found       []*interp.Interp
+		foundN      atomic.Int64 // shared found-count for the MaxModels stop
+		leaves      atomic.Int64
+		overflow    atomic.Bool
+		interrupted atomic.Bool
+		wg          sync.WaitGroup
 	)
+	ctxDone := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -104,14 +120,28 @@ func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp
 				v: v, opts: opts.Options, least: least,
 				posP: posP, negP: negP,
 				atoms: base.atoms, branchPos: base.branchPos,
+				ctxDone: ctxDone,
 			}
 			// Replace the per-state leaf counter with the shared one by
 			// sizing the local budget from the global remainder at leaf
 			// boundaries: simplest is to run subtree DFS with a local
 			// state and periodically publish.
 			for tk := range taskCh {
-				if overflow.Load() {
+				if overflow.Load() || interrupted.Load() {
 					return
+				}
+				// Satisfied runs stop early: once the shared count reaches
+				// MaxModels, no further subtree is started (the final slice
+				// may still overshoot — the documented lower-bound
+				// semantics — because racing subtrees publish in bulk).
+				if opts.MaxModels > 0 && foundN.Load() >= int64(opts.MaxModels) {
+					return
+				}
+				select {
+				case <-ctxDone:
+					interrupted.Store(true)
+					return
+				default:
 				}
 				st.cur = least.Clone()
 				ok := true
@@ -134,11 +164,16 @@ func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp
 				st.found = st.found[:0]
 				st.leaves = 0
 				st.overflow = false
+				st.interrupted = false
 				st.dfs(prefix)
 				if int(leaves.Add(int64(st.leaves))) > opts.MaxLeaves || st.overflow {
 					overflow.Store(true)
 				}
+				if st.interrupted {
+					interrupted.Store(true)
+				}
 				if len(st.found) > 0 {
+					foundN.Add(int64(len(st.found)))
 					mu.Lock()
 					found = append(found, st.found...)
 					st.found = nil
@@ -148,6 +183,9 @@ func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp
 		}()
 	}
 	wg.Wait()
+	if interrupted.Load() {
+		return found, interrupt.Check(ctx, "stable: parallel three-valued DFS")
+	}
 	if overflow.Load() {
 		return found, ErrBudget
 	}
@@ -155,10 +193,22 @@ func AssumptionFreeModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp
 }
 
 // StableModelsParallel returns the maximal assumption-free models using
-// the parallel enumeration.
+// the parallel enumeration. On ErrBudget the maximal models of the
+// truncated enumeration are returned alongside the error — the same
+// partial-result contract as the sequential StableModels.
 func StableModelsParallel(v *eval.View, opts ParallelOptions) ([]*interp.Interp, error) {
-	all, err := AssumptionFreeModelsParallel(v, opts)
+	return StableModelsParallelCtx(context.Background(), v, opts)
+}
+
+// StableModelsParallelCtx is StableModelsParallel with cooperative
+// cancellation; see AssumptionFreeModelsParallelCtx for the checkpoint
+// and partial-result contract.
+func StableModelsParallelCtx(ctx context.Context, v *eval.View, opts ParallelOptions) ([]*interp.Interp, error) {
+	all, err := AssumptionFreeModelsParallelCtx(ctx, v, opts)
 	if err != nil {
+		if partialErr(err) {
+			return MaximalModels(all), err
+		}
 		return nil, err
 	}
 	return MaximalModels(all), nil

@@ -1,6 +1,7 @@
 package stable
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/eval"
@@ -32,7 +33,14 @@ type Reasoning struct {
 // Reason enumerates the stable models of the view's component and returns
 // the cautious and brave consequences.
 func Reason(v *eval.View, opts Options) (*Reasoning, error) {
-	ms, err := StableModels(v, opts)
+	return ReasonCtx(context.Background(), v, opts)
+}
+
+// ReasonCtx is Reason with cooperative cancellation. A truncated
+// enumeration (budget or interruption) fails the whole call: cautious and
+// brave consequences are only sound over the complete stable-model family.
+func ReasonCtx(ctx context.Context, v *eval.View, opts Options) (*Reasoning, error) {
+	ms, err := StableModelsCtx(ctx, v, opts)
 	if err != nil {
 		return nil, err
 	}

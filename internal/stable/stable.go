@@ -7,13 +7,17 @@
 package stable
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/eval"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 )
 
-// ErrBudget reports that enumeration exceeded its leaf budget.
+// ErrBudget reports that enumeration exceeded its leaf budget. Like the
+// interrupt.ErrInterrupted cancellation sentinel, it is returned alongside
+// the models found before the budget ran out — callers keep partial work.
 var ErrBudget = errors.New("stable: search budget exceeded")
 
 // Options configures enumeration.
@@ -90,18 +94,32 @@ type enumState struct {
 	leaves    int
 	found     []*interp.Interp
 	overflow  bool
+	// ctxDone is the enumeration context's Done channel (nil when the
+	// search is unbounded); dfs polls it at every node — the checkpoint
+	// interval of the cancellation contract — and raises interrupted.
+	ctxDone     <-chan struct{}
+	interrupted bool
 }
 
 // AssumptionFreeModels enumerates the assumption-free models of the view's
 // component. The least model is always among them (Theorem 1).
 func AssumptionFreeModels(v *eval.View, opts Options) ([]*interp.Interp, error) {
+	return AssumptionFreeModelsCtx(context.Background(), v, opts)
+}
+
+// AssumptionFreeModelsCtx is AssumptionFreeModels with cooperative
+// cancellation: the DFS polls the context at every node, so a cancelled or
+// expired context stops the search within one checkpoint interval and
+// returns the models found so far alongside an interrupt.Error — the same
+// partial-result contract as ErrBudget.
+func AssumptionFreeModelsCtx(ctx context.Context, v *eval.View, opts Options) ([]*interp.Interp, error) {
 	opts.fill()
-	least, err := v.LeastModel()
+	least, err := v.LeastModelCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	posP, negP := possible(v)
-	st := &enumState{v: v, opts: opts, least: least, posP: posP, negP: negP}
+	st := &enumState{v: v, opts: opts, least: least, posP: posP, negP: negP, ctxDone: ctx.Done()}
 	st.branchPos = make([]int, v.G.Tab.Len())
 	for i := range st.branchPos {
 		st.branchPos[i] = -1
@@ -118,6 +136,9 @@ func AssumptionFreeModels(v *eval.View, opts Options) ([]*interp.Interp, error) 
 	}
 	st.cur = least.Clone()
 	st.dfs(0)
+	if st.interrupted {
+		return st.found, interrupt.Check(ctx, "stable: three-valued DFS")
+	}
 	if st.overflow {
 		return st.found, ErrBudget
 	}
@@ -125,10 +146,18 @@ func AssumptionFreeModels(v *eval.View, opts Options) ([]*interp.Interp, error) 
 }
 
 func (st *enumState) done() bool {
-	return st.overflow || (st.opts.MaxModels > 0 && len(st.found) >= st.opts.MaxModels)
+	return st.overflow || st.interrupted ||
+		(st.opts.MaxModels > 0 && len(st.found) >= st.opts.MaxModels)
 }
 
 func (st *enumState) dfs(k int) {
+	if st.ctxDone != nil && !st.interrupted {
+		select {
+		case <-st.ctxDone:
+			st.interrupted = true
+		default:
+		}
+	}
 	if st.done() {
 		return
 	}
@@ -230,13 +259,30 @@ func (st *enumState) doomed(k int) bool {
 }
 
 // StableModels returns the maximal assumption-free models of the view's
-// component (Definition 9).
+// component (Definition 9). On ErrBudget the maximal models of the
+// truncated enumeration are returned alongside the error (maximal within
+// the collected family only — the full search might have extended them).
 func StableModels(v *eval.View, opts Options) ([]*interp.Interp, error) {
-	all, err := AssumptionFreeModels(v, opts)
+	return StableModelsCtx(context.Background(), v, opts)
+}
+
+// StableModelsCtx is StableModels with cooperative cancellation; see
+// AssumptionFreeModelsCtx for the checkpoint and partial-result contract.
+func StableModelsCtx(ctx context.Context, v *eval.View, opts Options) ([]*interp.Interp, error) {
+	all, err := AssumptionFreeModelsCtx(ctx, v, opts)
 	if err != nil {
+		if partialErr(err) {
+			return MaximalModels(all), err
+		}
 		return nil, err
 	}
 	return MaximalModels(all), nil
+}
+
+// partialErr reports whether err is one of the sentinels that carry
+// partial results (truncated rather than failed enumeration).
+func partialErr(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, interrupt.ErrInterrupted)
 }
 
 // MaximalModels filters a family of interpretations down to its maximal

@@ -45,6 +45,7 @@
 package ordlog
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -55,10 +56,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/ground"
 	"repro/internal/interp"
+	"repro/internal/interrupt"
 	"repro/internal/parser"
 	"repro/internal/stable"
 	"repro/internal/transform"
 )
+
+// Cancellation sentinels. Every Engine method has a ...Ctx variant that
+// honours context cancellation and deadlines at cooperative checkpoints;
+// when one fires, the returned error matches ErrInterrupted (and also
+// context.Canceled / context.DeadlineExceeded via Unwrap). Enumeration
+// entry points return whatever partial models were found alongside the
+// error — the same graceful-degradation contract as ErrEnumBudget.
+var (
+	// ErrInterrupted matches any context-induced interruption.
+	ErrInterrupted = interrupt.ErrInterrupted
+	// ErrEnumBudget reports that stable/assumption-free enumeration
+	// exceeded its leaf budget; partial models accompany it.
+	ErrEnumBudget = stable.ErrBudget
+)
+
+// IsInterrupted reports whether err records a context interruption.
+func IsInterrupted(err error) bool { return interrupt.IsInterrupted(err) }
 
 // Re-exported core types. See the respective internal packages for the
 // full method sets.
@@ -161,6 +180,12 @@ func ParseLiteral(src string) (Literal, error) { return parser.ParseLiteral(src)
 
 // NewEngine grounds a program and returns an evaluation engine.
 func NewEngine(p *Program, cfg Config) (*Engine, error) { return core.NewEngine(p, cfg) }
+
+// NewEngineCtx is NewEngine with cooperative cancellation of the grounding
+// phase.
+func NewEngineCtx(ctx context.Context, p *Program, cfg Config) (*Engine, error) {
+	return core.NewEngineCtx(ctx, p, cfg)
+}
 
 // OV builds the ordered version of a seminegative program (§3): a
 // closed-world component above the program, capturing the founded and
