@@ -6,7 +6,11 @@
 // Usage:
 //
 //	olpbench [-exp all|figures|B1..B9] [-quick] [-parallel] [-workers n]
-//	         [-timeout d]
+//	         [-timeout d] [-json]
+//
+// -json runs a fixed set of B1–B5 and B7 measurements and emits a JSON
+// array of {name, ns_op, allocs_op} records to stdout — the same shape the
+// repo's BENCH_*.json trajectory files use — instead of the tables.
 //
 // -parallel (or -exp B9) runs the batched-query throughput experiment:
 // a batch of independent least-model queries fanned over the bounded
@@ -20,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,11 +51,16 @@ var (
 	parallel = flag.Bool("parallel", false, "run the batched-query throughput experiment (B9) only")
 	workers  = flag.Int("workers", 0, "worker pool size for B9 (0 = GOMAXPROCS)")
 	timeout  = flag.Duration("timeout", 0, "deadline for the B9 timeout scenario (0 = a quarter of the sequential time)")
+	jsonOut  = flag.Bool("json", false, "emit machine-readable B1–B5/B7 measurements (ns/op, allocs/op) as JSON")
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B9")
 	flag.Parse()
+	if *jsonOut {
+		benchJSON()
+		return
+	}
 	if *parallel {
 		b9()
 		return
@@ -99,6 +109,140 @@ func must[T any](v T, err error) T {
 		os.Exit(1)
 	}
 	return v
+}
+
+// ---------- -json ----------
+
+// benchResult is one -json measurement. The field names match the entries
+// of the BENCH_*.json trajectory files so `olpbench -json` output can be
+// pasted into them directly.
+type benchResult struct {
+	Name     string `json:"name"`
+	NsOp     int64  `json:"ns_op"`
+	AllocsOp int64  `json:"allocs_op"`
+}
+
+// measureOp times f like `go test -bench -benchmem`: one untimed warm-up,
+// then batches of iterations grown until the timed batch is long enough to
+// dominate the two ReadMemStats calls bracketing it. Reported values are
+// per-operation means over the final batch.
+func measureOp(name string, f func()) benchResult {
+	f()
+	iters := 1
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= 20*time.Millisecond || iters >= 1<<22 {
+			return benchResult{
+				Name:     name,
+				NsOp:     elapsed.Nanoseconds() / int64(iters),
+				AllocsOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+			}
+		}
+		iters *= 4
+	}
+}
+
+// benchJSON emits the B1–B5 and B7 measurements as a JSON array. One
+// representative size per experiment keeps a full run under a few seconds;
+// setup (grounding a view, building a classical program) happens outside
+// the measured op exactly as in the bench_test.go counterparts.
+func benchJSON() {
+	mixed := func(n, m int) []*ordlog.Rule {
+		rules := workload.AncestorChain(n)
+		for j := 0; j < m; j++ {
+			rules = append(rules, must(ordlog.ParseRule(fmt.Sprintf("item(d%d).", j))))
+		}
+		return rules
+	}
+	var results []benchResult
+	add := func(r benchResult) { results = append(results, r) }
+
+	// B1: semi-naive fixpoint on a pre-ground view.
+	{
+		_, v := ovViewOf(workload.AncestorChain(32))
+		add(measureOp("B1FixpointSemiNaive/anc_n=32", func() { must(v.LeastModel()) }))
+	}
+	// B2: ordered OV end to end vs the stratified baseline.
+	{
+		ov := must(transform.OV("c", workload.AncestorChain(16)))
+		add(measureOp("B2OrderedOV/anc_n=16", func() {
+			g := must(ground.Ground(ov, ground.DefaultOptions()))
+			v := must(eval.NewViewByName(g, "c"))
+			must(v.LeastModel())
+		}))
+		rules := workload.AncestorChain(16)
+		strat := must(classical.Stratify(rules))
+		add(measureOp("B2ClassicalStratified/anc_n=16", func() {
+			p := must(classical.GroundRules(rules, classical.Options{}))
+			p.StratifiedModel(strat)
+		}))
+	}
+	// B3: smart vs full grounding on the mixed-domain EDB.
+	{
+		ov := must(transform.OV("c", mixed(8, 24)))
+		add(measureOp("B3GroundingSmart/n=8_m=24", func() {
+			must(ground.Ground(ov, ground.DefaultOptions()))
+		}))
+		full := ground.DefaultOptions()
+		full.Mode = ground.ModeFull
+		add(measureOp("B3GroundingFull/n=8_m=24", func() {
+			must(ground.Ground(ov, full))
+		}))
+	}
+	// B4: stable-model enumeration, ordered vs classical GL.
+	{
+		rules := workload.WinMove(workload.CycleEdges(8))
+		_, v := ovViewOf(rules)
+		add(measureOp("B4StableWinMoveCycle/cycle_n=8", func() {
+			must(stable.StableModels(v, stable.Options{}))
+		}))
+		p := must(classical.GroundRules(rules, classical.Options{}))
+		add(measureOp("B4StableClassicalGL/cycle_n=8", func() {
+			must(p.StableModelsTotal(classical.StableOptions{}))
+		}))
+	}
+	// B5: ordered least model vs well-founded on win-move chains.
+	{
+		rules := workload.WinMove(workload.ChainEdges(32))
+		_, v := ovViewOf(rules)
+		add(measureOp("B5OrderedWinMoveChain/chain_n=32", func() { must(v.LeastModel()) }))
+		p := must(classical.GroundRules(rules, classical.Options{}))
+		add(measureOp("B5WellFoundedWinMoveChain/chain_n=32", func() { p.WellFounded() }))
+	}
+	// B7: ablations — EDB simplification and doomed-branch pruning.
+	{
+		ov := must(transform.OV("c", workload.AncestorChain(16)))
+		add(measureOp("B7aEDBSimplifyOn/anc_n=16", func() {
+			must(ground.Ground(ov, ground.DefaultOptions()))
+		}))
+		off := ground.DefaultOptions()
+		off.NoEDBSimplify = true
+		add(measureOp("B7aEDBSimplifyOff/anc_n=16", func() {
+			must(ground.Ground(ov, off))
+		}))
+		_, v := ovViewOf(workload.WinMove(workload.CycleEdges(8)))
+		add(measureOp("B7bPruneOn/cycle_n=8", func() {
+			must(stable.StableModels(v, stable.Options{}))
+		}))
+		add(measureOp("B7bPruneOff/cycle_n=8", func() {
+			must(stable.StableModels(v, stable.Options{NoPrune: true}))
+		}))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "olpbench:", err)
+		os.Exit(1)
+	}
 }
 
 // ---------- figures ----------

@@ -165,8 +165,14 @@ func GroundRules(rules []*ast.Rule, opts Options) (*Program, error) {
 		}
 	}
 
-	p := &Program{Tab: interp.NewTable(), headRules: make(map[interp.AtomID][]int32)}
+	// The atom table shares the store's term table, so instantiation joins
+	// and atom interning agree on term ids.
+	p := &Program{Tab: interp.NewTableWith(st.Table()), headRules: make(map[interp.AtomID][]int32)}
 	seen := make(map[string]bool)
+	var keyBuf []byte
+	appendLit := func(b []byte, l interp.Lit) []byte {
+		return append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
 	emit := func(r *ast.Rule, s *unify.Subst) error {
 		for _, b := range r.Builtins {
 			gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
@@ -177,7 +183,12 @@ func GroundRules(rules []*ast.Rule, opts Options) (*Program, error) {
 		}
 		gr := Rule{Src: r}
 		head := s.ApplyAtom(r.Head.Atom)
-		key := head.String()
+		if !head.Ground() {
+			return fmt.Errorf("classical: non-ground head instance of %s", r)
+		}
+		// Dedup on the interned encoding: head id then signed body lit ids,
+		// packed little-endian.
+		keyBuf = appendLit(keyBuf[:0], interp.MkLit(p.Tab.Intern(head), false))
 		for _, l := range r.Body {
 			a := s.ApplyAtom(l.Atom)
 			if !a.Ground() {
@@ -186,15 +197,12 @@ func GroundRules(rules []*ast.Rule, opts Options) (*Program, error) {
 			id := p.Tab.Intern(a)
 			if l.Neg {
 				gr.Neg = append(gr.Neg, id)
-				key += "\x01-" + a.String()
 			} else {
 				gr.Pos = append(gr.Pos, id)
-				key += "\x01+" + a.String()
 			}
+			keyBuf = appendLit(keyBuf, interp.MkLit(id, l.Neg))
 		}
-		if !head.Ground() {
-			return fmt.Errorf("classical: non-ground head instance of %s", r)
-		}
+		key := string(keyBuf)
 		if seen[key] {
 			return nil
 		}
@@ -275,43 +283,15 @@ func internAll(tab *interp.Table, k ast.PredKey, uni []ast.Term, budget int) err
 	return rec(0)
 }
 
-// joinOver enumerates substitutions satisfying the positive body over st.
+// joinOver enumerates substitutions satisfying the positive body over st,
+// in selectivity-planner order.
 func joinOver(st *storage.Store, body []datalog.Lit, yield func(*unify.Subst) error) error {
 	s := unify.NewSubst()
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(body) {
-			return yield(s)
-		}
-		l := body[i]
-		rel := st.Peek(l.Key)
-		if rel == nil {
-			return nil
-		}
-		pattern := make([]ast.Term, len(l.Args))
-		for j, t := range l.Args {
-			pattern[j] = s.Apply(t)
-		}
-		for _, ti := range rel.Candidates(pattern, 0) {
-			tup := rel.Tuple(ti)
-			mark := s.Mark()
-			ok := true
-			for j := range pattern {
-				if !unify.Match(s, pattern[j], tup[j]) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if err := rec(i + 1); err != nil {
-					return err
-				}
-			}
-			s.Undo(mark)
-		}
-		return nil
+	lits := make([]storage.JoinLit, len(body))
+	for i, l := range body {
+		lits[i] = storage.JoinLit{Rel: st.Peek(l.Key), Args: l.Args}
 	}
-	return rec(0)
+	return storage.Join(s, lits, -1, true, func() error { return yield(s) })
 }
 
 func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {

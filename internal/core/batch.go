@@ -95,4 +95,3 @@ func (e *Engine) ProveBatchCtx(ctx context.Context, comp string, lits []ast.Lite
 		return e.ProveCtx(ctx, comp, l)
 	})
 }
-

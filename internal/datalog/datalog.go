@@ -116,6 +116,11 @@ type Options struct {
 	// inside a depth-bounded Herbrand universe, without which a rule like
 	// num(s(X)) :- num(X) would diverge.
 	AtomFilter func(ast.Atom) bool
+	// NoPlanner disables the selectivity-driven join planner and joins
+	// body literals in source order (delta literal still first). Used by
+	// differential tests to check the planner only changes cost, never the
+	// least model.
+	NoPlanner bool
 }
 
 // Eval runs the rules to fixpoint over st (which already holds the EDB),
@@ -162,7 +167,7 @@ func Eval(st *storage.Store, rules []*Rule, opts Options) (int, error) {
 		}
 		for _, r := range rules {
 			if round == 0 {
-				if err := evalRule(st, r, -1, marks, emit); err != nil {
+				if err := evalRule(st, r, -1, marks, opts, emit); err != nil {
 					return derived, err
 				}
 				continue
@@ -175,7 +180,7 @@ func Eval(st *storage.Store, rules []*Rule, opts Options) (int, error) {
 					continue
 				}
 				hasPos = true
-				if err := evalRule(st, r, i, marks, emit); err != nil {
+				if err := evalRule(st, r, i, marks, opts, emit); err != nil {
 					return derived, err
 				}
 			}
@@ -195,78 +200,44 @@ func Eval(st *storage.Store, rules []*Rule, opts Options) (int, error) {
 	}
 }
 
-// evalRule joins the rule body and emits head instances. If deltaPos >= 0,
-// the positive body literal at that index scans only the previous round's
-// delta of its relation.
-func evalRule(st *storage.Store, r *Rule, deltaPos int, marks map[ast.PredKey]int, emit func(ast.Atom) error) error {
+// evalRule joins the rule body via the shared storage.Join planner and
+// emits head instances. If deltaPos >= 0, the positive body literal at that
+// index scans only the previous round's delta of its relation and is forced
+// to the front of the join order.
+func evalRule(st *storage.Store, r *Rule, deltaPos int, marks map[ast.PredKey]int, opts Options, emit func(ast.Atom) error) error {
 	s := unify.NewSubst()
-	// Join positive literals left to right but visit the delta literal
-	// first so its bindings restrict the others.
-	order := make([]int, 0, len(r.Body))
-	if deltaPos >= 0 {
-		order = append(order, deltaPos)
-	}
+	lits := make([]storage.JoinLit, 0, len(r.Body))
+	first := -1
 	for i, l := range r.Body {
-		if l.Neg || i == deltaPos {
+		if l.Neg {
 			continue
 		}
-		order = append(order, i)
-	}
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == len(order) {
-			// All positive literals bound: test builtins and NAF literals.
-			for _, b := range r.Builtins {
-				gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
-				holds, ok := ast.EvalBuiltin(gb)
-				if !ok || !holds {
-					return nil
-				}
-			}
-			for _, l := range r.Body {
-				if !l.Neg {
-					continue
-				}
-				if st.ContainsAtom(s.ApplyAtom(l.Atom())) {
-					return nil
-				}
-			}
-			return emit(s.ApplyAtom(r.Head.Atom()))
-		}
-		i := order[k]
-		l := r.Body[i]
-		rel := st.Peek(l.Key)
-		if rel == nil {
-			return nil
-		}
-		lo := 0
+		jl := storage.JoinLit{Rel: st.Peek(l.Key), Args: l.Args}
 		if i == deltaPos {
-			lo = marks[l.Key]
+			jl.Lo = marks[l.Key]
+			first = len(lits)
 		}
-		pattern := make([]ast.Term, len(l.Args))
-		for j, t := range l.Args {
-			pattern[j] = s.Apply(t)
-		}
-		for _, ti := range rel.Candidates(pattern, lo) {
-			tup := rel.Tuple(ti)
-			mark := s.Mark()
-			okAll := true
-			for j := range pattern {
-				if !unify.Match(s, pattern[j], tup[j]) {
-					okAll = false
-					break
-				}
-			}
-			if okAll {
-				if err := rec(k + 1); err != nil {
-					return err
-				}
-			}
-			s.Undo(mark)
-		}
-		return nil
+		lits = append(lits, jl)
 	}
-	return rec(0)
+	return storage.Join(s, lits, first, !opts.NoPlanner, func() error {
+		// All positive literals bound: test builtins and NAF literals.
+		for _, b := range r.Builtins {
+			gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+			holds, ok := ast.EvalBuiltin(gb)
+			if !ok || !holds {
+				return nil
+			}
+		}
+		for _, l := range r.Body {
+			if !l.Neg {
+				continue
+			}
+			if st.ContainsAtom(s.ApplyAtom(l.Atom())) {
+				return nil
+			}
+		}
+		return emit(s.ApplyAtom(r.Head.Atom()))
+	})
 }
 
 func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {

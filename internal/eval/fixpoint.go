@@ -112,12 +112,15 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 		return nil, err
 	}
 	n := len(v.heads)
-	unsat := make([]int32, n)
-	unblocked := make([]int32, n)
-	blocked := make([]bool, n)
-	fired := make([]bool, n)
+	// One backing array per element type: counters (unsat, unblocked) and
+	// flags (blocked, fired) each share an allocation.
+	counters := make([]int32, 2*n)
+	unsat, unblocked := counters[:n], counters[n:]
+	flags := make([]bool, 2*n)
+	blocked, fired := flags[:n], flags[n:]
 	in := v.NewInterp()
-	var queue []interp.Lit
+	// Each queued literal is a newly derived head, so n bounds the queue.
+	queue := make([]interp.Lit, 0, n)
 
 	fire := func(r int) error {
 		if fired[r] {
@@ -153,17 +156,16 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 		}
 	}
 	pops := 0
-	for len(queue) > 0 {
+	for head := 0; head < len(queue); head++ {
 		pops++
 		if pops%checkStride == 0 {
 			if err := interrupt.Check(ctx, stage); err != nil {
 				return nil, err
 			}
 		}
-		lit := queue[0]
-		queue = queue[1:]
+		lit := queue[head]
 		// The new literal satisfies body occurrences of itself...
-		for _, r := range v.bodyOcc[lit] {
+		for _, r := range v.bodyOcc(lit) {
 			unsat[r]--
 			if unsat[r] == 0 && unblocked[r] == 0 {
 				if err := fire(int(r)); err != nil {
@@ -173,7 +175,7 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 		}
 		// ...and blocks every rule with the complement in its body, which
 		// in turn releases the rules those threatened.
-		for _, r := range v.bodyOcc[lit.Complement()] {
+		for _, r := range v.bodyOcc(lit.Complement()) {
 			if blocked[r] {
 				continue
 			}

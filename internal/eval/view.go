@@ -24,7 +24,8 @@ import (
 // general components can do neither.
 //
 // Concurrency invariant: every index a View holds — heads, bodies, comps,
-// srcs, overrulers, defeaters, bodyOcc, headOf, headAtom, threatened — is
+// srcs, overrulers, defeaters, occOff/occ, headOf, headAtom, threatened —
+// is
 // built once inside NewView and never mutated afterwards (construct-once/
 // read-many). A *View is therefore safe for unsynchronised sharing across
 // goroutines; all evaluation methods (VOnce, LeastModel, TEnabled,
@@ -44,7 +45,11 @@ type View struct {
 	overrulers [][]int32 // local rule indexes that can overrule r
 	defeaters  [][]int32 // local rule indexes that can defeat r
 
-	bodyOcc  map[interp.Lit][]int32 // one entry per body occurrence
+	// Body occurrences in CSR layout, indexed by int(Lit): rules with lit l
+	// in their body are occ[occOff[l]:occOff[l+1]]. A dense array probe in
+	// the fixpoint worklist loop instead of a map lookup per pop.
+	occOff   []int32
+	occ      []int32
 	headOf   map[interp.Lit][]int32
 	headAtom map[interp.AtomID][]int32
 	// threatened[r] lists the rules s that have r among their overrulers
@@ -60,7 +65,6 @@ func NewView(g *ground.Program, comp int) *View {
 	v := &View{
 		G:        g,
 		Comp:     comp,
-		bodyOcc:  make(map[interp.Lit][]int32),
 		headOf:   make(map[interp.Lit][]int32),
 		headAtom: make(map[interp.AtomID][]int32),
 	}
@@ -80,8 +84,27 @@ func NewView(g *ground.Program, comp int) *View {
 		v.srcs = append(v.srcs, r)
 		v.headOf[r.Head] = append(v.headOf[r.Head], li)
 		v.headAtom[r.Head.Atom()] = append(v.headAtom[r.Head.Atom()], li)
-		for _, l := range r.Body {
-			v.bodyOcc[l] = append(v.bodyOcc[l], li)
+	}
+	// CSR body-occurrence index: count per literal, prefix-sum, fill.
+	nLits := 2 * g.Tab.Len()
+	v.occOff = make([]int32, nLits+1)
+	total := 0
+	for _, body := range v.bodies {
+		total += len(body)
+		for _, l := range body {
+			v.occOff[int(l)+1]++
+		}
+	}
+	for i := 0; i < nLits; i++ {
+		v.occOff[i+1] += v.occOff[i]
+	}
+	v.occ = make([]int32, total)
+	next := make([]int32, nLits)
+	copy(next, v.occOff[:nLits])
+	for li, body := range v.bodies {
+		for _, l := range body {
+			v.occ[next[int(l)]] = int32(li)
+			next[int(l)]++
 		}
 	}
 	n := len(v.heads)
@@ -144,6 +167,12 @@ func (v *View) Defeaters(r int) []int32 { return v.defeaters[r] }
 // HeadRules returns the local indexes of the visible rules with the given
 // head literal. Shared slice.
 func (v *View) HeadRules(l interp.Lit) []int32 { return v.headOf[l] }
+
+// bodyOcc returns the local indexes of the rules with l among their body
+// literals (CSR slice; shared, do not modify).
+func (v *View) bodyOcc(l interp.Lit) []int32 {
+	return v.occ[v.occOff[int(l)]:v.occOff[int(l)+1]]
+}
 
 // Competitors returns the local indexes of every rule that can overrule or
 // defeat r. The slice is freshly allocated.

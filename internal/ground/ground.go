@@ -10,6 +10,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/interp"
 	"repro/internal/interrupt"
+	"repro/internal/term"
 	"repro/internal/unify"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	// smart mode (ablation switch; results are unchanged, the competitor
 	// pass just materialises provably blocked instances too).
 	NoEDBSimplify bool
+	// NoJoinPlanner disables the selectivity-driven join planner in the
+	// possible-atom fixpoint and the smart-mode join passes, joining body
+	// literals in source order instead (ablation switch; the ground program
+	// is unchanged, only join cost differs).
+	NoJoinPlanner bool
 }
 
 // DefaultOptions returns the default grounding configuration.
@@ -176,7 +182,8 @@ type grounder struct {
 	// (a single rule can expand to universe^vars instances, so per-stratum
 	// checkpoints alone would not bound the interruption latency).
 	emitted int
-	// factComps maps ground-fact atoms (canonical text) to the components
+	// factComps maps ground-fact atoms — keyed by their packed interned
+	// term ids (predicate symbol id then argument ids) — to the components
 	// asserting them; built by predShapes for the competitor pass.
 	factComps map[string][]int
 	// keyBuf is the reusable dedup-key scratch buffer.
@@ -190,7 +197,7 @@ type grounder struct {
 func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
 	g.emitted++
 	if g.emitted%256 == 0 {
-		if err := g.check("instance emission"); err != nil {
+		if err := g.check("ground: instance emission"); err != nil {
 			return err
 		}
 	}
@@ -240,13 +247,45 @@ func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
 	return nil
 }
 
-// check is the grounder's cooperative checkpoint.
+// check is the grounder's cooperative checkpoint. Callers pass the full
+// "ground: ..." stage constant so the hot path never concatenates.
 func (g *grounder) check(stage string) error {
-	return interrupt.Check(g.ctx, "ground: "+stage)
+	return interrupt.Check(g.ctx, stage)
 }
 
 func appendInt32(b []byte, v int32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// factKey packs a ground atom into the factComps key: the interned
+// predicate-symbol id followed by the argument ids. With intern true
+// (predShapes) missing terms are created; with intern false
+// (blockedByVisibleFact) a term absent from the table proves the atom equals
+// no recorded fact head, so the second result is false and no map probe is
+// needed.
+func (g *grounder) factKey(a ast.Atom, intern bool) (string, bool) {
+	tt := g.tab.TermTable()
+	g.keyBuf = g.keyBuf[:0]
+	if intern {
+		g.keyBuf = term.AppendID(g.keyBuf, tt.InternSym(a.Pred))
+		for _, t := range a.Args {
+			g.keyBuf = term.AppendID(g.keyBuf, tt.Intern(t))
+		}
+		return string(g.keyBuf), true
+	}
+	id, ok := tt.LookupSym(a.Pred)
+	if !ok {
+		return "", false
+	}
+	g.keyBuf = term.AppendID(g.keyBuf, id)
+	for _, t := range a.Args {
+		tid, ok := tt.Lookup(t)
+		if !ok {
+			return "", false
+		}
+		g.keyBuf = term.AppendID(g.keyBuf, tid)
+	}
+	return string(g.keyBuf), true
 }
 
 func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {
@@ -264,7 +303,7 @@ func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {
 func (g *grounder) full() error {
 	for ci, c := range g.src.Components {
 		for _, r := range c.Rules {
-			if err := g.check("full-mode rule"); err != nil {
+			if err := g.check("ground: full-mode rule"); err != nil {
 				return err
 			}
 			vars := r.Vars()
@@ -300,7 +339,7 @@ func (g *grounder) full() error {
 	}
 	// Intern the complete Herbrand base: every predicate over the universe.
 	for _, k := range g.src.Predicates() {
-		if err := g.check("Herbrand-base interning"); err != nil {
+		if err := g.check("ground: Herbrand-base interning"); err != nil {
 			return err
 		}
 		if err := g.internAllAtoms(k); err != nil {

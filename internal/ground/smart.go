@@ -5,6 +5,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/interp"
 	"repro/internal/storage"
+	"repro/internal/term"
 	"repro/internal/unify"
 )
 
@@ -40,7 +41,9 @@ func encKey(k ast.PredKey, neg bool) ast.PredKey {
 // relevant Herbrand base (atoms omitted are undefined in every least,
 // assumption-free or stable model).
 func (g *grounder) smart() error {
-	st := storage.NewStore()
+	// The store shares the atom table's term table, so a term interned while
+	// filling relations is the same id the instantiation pass sees.
+	st := storage.NewStoreWith(g.tab.TermTable())
 	domRel := st.Rel(domKey)
 	for _, t := range g.uni {
 		domRel.Insert([]ast.Term{t})
@@ -76,23 +79,27 @@ func (g *grounder) smart() error {
 	}
 	// Keep the possible-atom closure inside the depth-bounded universe:
 	// with function symbols a rule like num(s(X)) :- num(X) would
-	// otherwise diverge.
-	inUniverse := make(map[string]bool, len(g.uni))
+	// otherwise diverge. Universe members were interned when filling $dom,
+	// so a term the table has never seen is provably outside the universe
+	// and membership is an id probe.
+	tt := g.tab.TermTable()
+	inUniverse := make(map[term.ID]bool, len(g.uni))
 	for _, t := range g.uni {
-		inUniverse[t.String()] = true
+		inUniverse[tt.Intern(t)] = true
 	}
 	filter := func(a ast.Atom) bool {
 		for _, t := range a.Args {
-			if !inUniverse[t.String()] {
+			id, ok := tt.Lookup(t)
+			if !ok || !inUniverse[id] {
 				return false
 			}
 		}
 		return true
 	}
-	if err := g.check("possible-atom fixpoint"); err != nil {
+	if err := g.check("ground: possible-atom fixpoint"); err != nil {
 		return err
 	}
-	if _, err := datalog.Eval(st, dl, datalog.Options{MaxDerived: g.opts.MaxAtoms, AtomFilter: filter}); err != nil {
+	if _, err := datalog.Eval(st, dl, datalog.Options{MaxDerived: g.opts.MaxAtoms, AtomFilter: filter, NoPlanner: g.opts.NoJoinPlanner}); err != nil {
 		if err == datalog.ErrBudget {
 			return &ErrBudget{"possible-atom", g.opts.MaxAtoms}
 		}
@@ -101,7 +108,7 @@ func (g *grounder) smart() error {
 
 	// Fireable pass.
 	for _, sr := range srcs {
-		if err := g.check("fireable pass"); err != nil {
+		if err := g.check("ground: fireable pass"); err != nil {
 			return err
 		}
 		if err := g.joinInstantiate(st, sr.comp, sr.r, sr.body); err != nil {
@@ -129,7 +136,7 @@ func (g *grounder) smart() error {
 	}
 	scratch := unify.NewSubst()
 	for _, tg := range targets {
-		if err := g.check("competitor pass"); err != nil {
+		if err := g.check("ground: competitor pass"); err != nil {
 			return err
 		}
 		wantKey := tg.atom.Key()
@@ -242,7 +249,7 @@ func (g *grounder) predShapes() map[ast.PredKey]*predShape {
 			} else if !r.IsFact() || !r.Head.Atom.Ground() {
 				s.onlyFactPos = false
 			} else {
-				fk := r.Head.Atom.String()
+				fk, _ := g.factKey(r.Head.Atom, true)
 				g.factComps[fk] = append(g.factComps[fk], ci)
 			}
 		}
@@ -267,44 +274,15 @@ func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*pr
 		}
 		return nil
 	}
-	// Join items: positive EDB literals bind from the fact relation.
-	var joinLits []ast.Literal
+	// Join items: positive EDB literals bind from the fact relation, joined
+	// in planner order.
+	var joinLits []storage.JoinLit
 	for _, l := range r.Body {
 		if !l.Neg && edb(l.Atom.Key()) != nil {
-			joinLits = append(joinLits, l)
+			joinLits = append(joinLits, storage.JoinLit{Rel: st.Peek(encKey(l.Atom.Key(), false)), Args: l.Atom.Args})
 		}
 	}
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i < len(joinLits) {
-			l := joinLits[i]
-			rel := st.Peek(encKey(l.Atom.Key(), false))
-			if rel == nil {
-				return nil
-			}
-			pattern := make([]ast.Term, len(l.Atom.Args))
-			for j, t := range l.Atom.Args {
-				pattern[j] = s.Apply(t)
-			}
-			for _, ti := range rel.Candidates(pattern, 0) {
-				tup := rel.Tuple(ti)
-				mark := s.Mark()
-				ok := true
-				for j := range pattern {
-					if !unify.Match(s, pattern[j], tup[j]) {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					if err := rec(i + 1); err != nil {
-						return err
-					}
-				}
-				s.Undo(mark)
-			}
-			return nil
-		}
+	return storage.Join(s, joinLits, -1, !g.opts.NoJoinPlanner, func() error {
 		// Remaining variables range over the universe.
 		var free []ast.Var
 		for _, v := range r.Vars() {
@@ -313,8 +291,7 @@ func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*pr
 			}
 		}
 		return g.enumerateFiltered(st, shapes, comp, r, s, free)
-	}
-	return rec(0)
+	})
 }
 
 // enumerateFiltered binds free variables over the universe and emits
@@ -370,7 +347,11 @@ func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*
 // the competitor instance, so a negative literal on it blocks the instance
 // in every model.
 func (g *grounder) blockedByVisibleFact(atom ast.Atom, comp int, sh *predShape) bool {
-	for _, cb := range g.factComps[atom.String()] {
+	fk, ok := g.factKey(atom, false)
+	if !ok {
+		return false // some subterm was never interned: atom equals no fact head
+	}
+	for _, cb := range g.factComps[fk] {
 		if cb == sh.cwaComp {
 			continue
 		}
@@ -385,43 +366,17 @@ func (g *grounder) blockedByVisibleFact(atom ast.Atom, comp int, sh *predShape) 
 }
 
 // joinInstantiate enumerates the substitutions satisfying the encoded body
-// over the possible-atom store and emits the corresponding instances.
+// over the possible-atom store and emits the corresponding instances. The
+// join order is chosen by the shared selectivity planner.
 func (g *grounder) joinInstantiate(st *storage.Store, comp int, r *ast.Rule, body []datalog.Lit) error {
 	s := unify.NewSubst()
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(body) {
-			return g.instantiate(comp, r, s)
-		}
-		l := body[i]
-		rel := st.Peek(l.Key)
-		if rel == nil {
-			return nil
-		}
-		pattern := make([]ast.Term, len(l.Args))
-		for j, t := range l.Args {
-			pattern[j] = s.Apply(t)
-		}
-		for _, ti := range rel.Candidates(pattern, 0) {
-			tup := rel.Tuple(ti)
-			mark := s.Mark()
-			ok := true
-			for j := range pattern {
-				if !unify.Match(s, pattern[j], tup[j]) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if err := rec(i + 1); err != nil {
-					return err
-				}
-			}
-			s.Undo(mark)
-		}
-		return nil
+	lits := make([]storage.JoinLit, len(body))
+	for i, l := range body {
+		lits[i] = storage.JoinLit{Rel: st.Peek(l.Key), Args: l.Args}
 	}
-	return rec(0)
+	return storage.Join(s, lits, -1, !g.opts.NoJoinPlanner, func() error {
+		return g.instantiate(comp, r, s)
+	})
 }
 
 // enumerate binds the free variables over the universe and emits each

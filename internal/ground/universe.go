@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/ast"
+	"repro/internal/term"
 )
 
 // ErrBudget reports that grounding exceeded a configured size budget.
@@ -47,9 +48,14 @@ func Universe(p *ast.OrderedProgram, maxDepth int, budget int) ([]ast.Term, erro
 		base = []ast.Term{ast.Sym("u0")}
 	}
 	all := append([]ast.Term(nil), base...)
-	seen := make(map[string]bool, len(all))
+	// Dedup members by interned id instead of canonical text. members holds
+	// ids of universe members only — a term interned merely as a subterm of
+	// a deeper base constant is not in it, so it can still be added when the
+	// depth rounds construct it.
+	dedup := term.NewTable()
+	members := make(map[term.ID]bool, len(all))
 	for _, t := range all {
-		seen[t.String()] = true
+		members[dedup.Intern(t)] = true
 	}
 	functors := p.Functors()
 	for d := 1; d <= maxDepth && len(functors) > 0; d++ {
@@ -65,13 +71,13 @@ func Universe(p *ast.OrderedProgram, maxDepth int, budget int) ([]ast.Term, erro
 						return nil
 					}
 					c := ast.Compound{Functor: f.Name, Args: append([]ast.Term(nil), args...)}
-					k := c.String()
-					if seen[k] {
+					id := dedup.Intern(c)
+					if members[id] {
 						return nil
 					}
-					seen[k] = true
+					members[id] = true
 					next = append(next, c)
-					if budget > 0 && len(seen) > budget {
+					if budget > 0 && len(members) > budget {
 						return &ErrBudget{"universe", budget}
 					}
 					return nil

@@ -9,9 +9,9 @@ package interp
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/term"
 )
 
 // AtomID identifies an interned ground atom.
@@ -39,74 +39,106 @@ func (l Lit) Neg() bool { return l&1 == 1 }
 // Complement returns the complementary literal.
 func (l Lit) Complement() Lit { return l ^ 1 }
 
-// Table interns ground atoms. The zero value is not usable; call NewTable.
+// Table interns ground atoms. Atoms are keyed by their predicate symbol id
+// plus the packed interned ids of their arguments (internal/term), so
+// interning an already-seen atom costs one per-argument id lookup and one
+// map probe over a short binary key instead of re-serialising the atom to
+// a string. The zero value is not usable; call NewTable.
 type Table struct {
+	tab   *term.Table
 	byKey map[string]AtomID
 	atoms []ast.Atom
 	preds map[ast.PredKey][]AtomID
+	buf   []byte
 }
 
-// NewTable returns an empty atom table.
-func NewTable() *Table {
-	return &Table{byKey: make(map[string]AtomID), preds: make(map[ast.PredKey][]AtomID)}
+// NewTable returns an empty atom table with its own term table.
+func NewTable() *Table { return NewTableWith(term.NewTable()) }
+
+// NewTableWith returns an empty atom table interning argument terms into
+// tab, so a caller can share one term table between its atom table and a
+// storage.Store.
+func NewTableWith(tab *term.Table) *Table {
+	return &Table{tab: tab, byKey: make(map[string]AtomID), preds: make(map[ast.PredKey][]AtomID)}
 }
 
-// key builds the canonical encoding of a ground atom. Argument terms are
-// rendered with type tags so that the symbol "1" and the integer 1 differ.
-func key(a ast.Atom) string {
-	var b strings.Builder
-	b.WriteString(a.Pred)
-	for _, t := range a.Args {
-		b.WriteByte('\x00')
-		writeTermKey(&b, t)
+// TermTable returns the term table the atom table interns arguments into.
+func (t *Table) TermTable() *term.Table { return t.tab }
+
+// appendKey packs the atom's key: the interned predicate-symbol id followed
+// by one id per argument. Distinct arities yield distinct key lengths, so
+// p/1 and p/2 atoms cannot collide.
+func (t *Table) appendKey(b []byte, pred term.ID, args []term.ID) []byte {
+	b = term.AppendID(b, pred)
+	for _, id := range args {
+		b = term.AppendID(b, id)
 	}
-	return b.String()
-}
-
-func writeTermKey(b *strings.Builder, t ast.Term) {
-	switch t := t.(type) {
-	case ast.Sym:
-		b.WriteByte('s')
-		b.WriteString(string(t))
-	case ast.Int:
-		b.WriteByte('i')
-		b.WriteString(t.String())
-	case ast.Compound:
-		b.WriteByte('c')
-		b.WriteString(t.Functor)
-		b.WriteByte('(')
-		for i, a := range t.Args {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			writeTermKey(b, a)
-		}
-		b.WriteByte(')')
-	case ast.Var:
-		// Ground atoms never contain variables; tolerate for diagnostics.
-		b.WriteByte('v')
-		b.WriteString(t.Name)
-	}
+	return b
 }
 
 // Intern returns the id for a ground atom, creating it if needed.
 func (t *Table) Intern(a ast.Atom) AtomID {
-	k := key(a)
-	if id, ok := t.byKey[k]; ok {
+	var ids [8]term.ID
+	args := ids[:0]
+	for _, arg := range a.Args {
+		args = append(args, t.tab.Intern(arg))
+	}
+	t.buf = t.appendKey(t.buf[:0], t.tab.InternSym(a.Pred), args)
+	if id, ok := t.byKey[string(t.buf)]; ok {
 		return id
 	}
 	id := AtomID(len(t.atoms))
-	t.byKey[k] = id
+	t.byKey[string(t.buf)] = id
 	t.atoms = append(t.atoms, a)
 	pk := a.Key()
 	t.preds[pk] = append(t.preds[pk], id)
 	return id
 }
 
-// Lookup returns the id of a ground atom and whether it is interned.
+// Lookup returns the id of a ground atom and whether it is interned. It
+// never interns: an atom whose predicate symbol or arguments are absent
+// from the term table cannot have been interned.
 func (t *Table) Lookup(a ast.Atom) (AtomID, bool) {
-	id, ok := t.byKey[key(a)]
+	pred, ok := t.tab.LookupSym(a.Pred)
+	if !ok {
+		return 0, false
+	}
+	var ids [8]term.ID
+	args := ids[:0]
+	for _, arg := range a.Args {
+		id, ok := t.tab.Lookup(arg)
+		if !ok {
+			return 0, false
+		}
+		args = append(args, id)
+	}
+	t.buf = t.appendKey(t.buf[:0], pred, args)
+	id, ok := t.byKey[string(t.buf)]
 	return id, ok
+}
+
+// LookupIDs returns the id of the ground atom with the given predicate
+// symbol id and already-interned argument ids, without interning.
+func (t *Table) LookupIDs(pred term.ID, args []term.ID) (AtomID, bool) {
+	t.buf = t.appendKey(t.buf[:0], pred, args)
+	id, ok := t.byKey[string(t.buf)]
+	return id, ok
+}
+
+// InternIDs returns the id for the ground atom a, whose predicate symbol id
+// and argument ids have already been interned by the caller (a must decode
+// to exactly those ids). It skips re-interning the arguments.
+func (t *Table) InternIDs(a ast.Atom, pred term.ID, args []term.ID) AtomID {
+	t.buf = t.appendKey(t.buf[:0], pred, args)
+	if id, ok := t.byKey[string(t.buf)]; ok {
+		return id
+	}
+	id := AtomID(len(t.atoms))
+	t.byKey[string(t.buf)] = id
+	t.atoms = append(t.atoms, a)
+	pk := a.Key()
+	t.preds[pk] = append(t.preds[pk], id)
+	return id
 }
 
 // Atom returns the atom for an id.

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// refRelation is the original string-keyed relation layout, kept here as
+// the differential oracle: the interned Relation must be observationally
+// identical on Insert / Contains / Len / Candidates.
+type refRelation struct {
+	arity  int
+	tuples [][]ast.Term
+	seen   map[string]int
+	cols   []map[string][]int
+}
+
+func newRefRelation(arity int) *refRelation {
+	r := &refRelation{arity: arity, seen: make(map[string]int)}
+	r.cols = make([]map[string][]int, arity)
+	for i := range r.cols {
+		r.cols[i] = make(map[string][]int)
+	}
+	return r
+}
+
+func refTermKey(b *strings.Builder, t ast.Term) {
+	switch t := t.(type) {
+	case ast.Sym:
+		b.WriteByte('s')
+		b.WriteString(string(t))
+	case ast.Int:
+		b.WriteByte('i')
+		b.WriteString(t.String())
+	case ast.Compound:
+		b.WriteByte('c')
+		b.WriteString(t.Functor)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			refTermKey(b, a)
+		}
+		b.WriteByte(')')
+	case ast.Var:
+		b.WriteByte('v')
+		b.WriteString(t.Name)
+	}
+}
+
+func refKey(args []ast.Term) string {
+	var b strings.Builder
+	for i, t := range args {
+		if i > 0 {
+			b.WriteByte('\x00')
+		}
+		refTermKey(&b, t)
+	}
+	return b.String()
+}
+
+func (r *refRelation) insert(args []ast.Term) bool {
+	k := refKey(args)
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	idx := len(r.tuples)
+	r.seen[k] = idx
+	r.tuples = append(r.tuples, args)
+	for c, t := range args {
+		var b strings.Builder
+		refTermKey(&b, t)
+		r.cols[c][b.String()] = append(r.cols[c][b.String()], idx)
+	}
+	return true
+}
+
+func (r *refRelation) contains(args []ast.Term) bool {
+	_, ok := r.seen[refKey(args)]
+	return ok
+}
+
+func (r *refRelation) candidates(pattern []ast.Term, lo int) []int {
+	best := -1
+	var bestBucket []int
+	for c := 0; c < r.arity && c < len(pattern); c++ {
+		if pattern[c] == nil || !pattern[c].Ground() {
+			continue
+		}
+		var b strings.Builder
+		refTermKey(&b, pattern[c])
+		bucket := r.cols[c][b.String()]
+		if best == -1 || len(bucket) < len(bestBucket) {
+			best = c
+			bestBucket = bucket
+		}
+	}
+	if best >= 0 {
+		out := make([]int, 0, len(bestBucket))
+		for _, i := range bestBucket {
+			if i >= lo {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	var out []int
+	for i := lo; i < len(r.tuples); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// randomGroundTerm draws from a small skewed universe so duplicates and
+// shared index buckets are common.
+func randomGroundTerm(rng *rand.Rand, depth int) ast.Term {
+	switch r := rng.Intn(6); {
+	case r <= 2 || depth >= 2:
+		return ast.Sym(fmt.Sprintf("s%d", rng.Intn(5)))
+	case r == 3:
+		return ast.Int(int64(rng.Intn(4)))
+	default:
+		n := 1 + rng.Intn(2)
+		args := make([]ast.Term, n)
+		for i := range args {
+			args[i] = randomGroundTerm(rng, depth+1)
+		}
+		return ast.Compound{Functor: fmt.Sprintf("f%d", rng.Intn(2)), Args: args}
+	}
+}
+
+// TestRelationDifferential drives the interned Relation and the
+// string-keyed reference with the same random operation sequences and
+// requires identical observable behaviour: Insert verdicts, Contains
+// verdicts, Len, tuple round-trips and Candidates index sets (including
+// delta lows).
+func TestRelationDifferential(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		arity := 1 + rng.Intn(3)
+		rel := NewRelation(term.NewTable(), arity)
+		ref := newRefRelation(arity)
+		for op := 0; op < 400; op++ {
+			args := make([]ast.Term, arity)
+			for i := range args {
+				args[i] = randomGroundTerm(rng, 0)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				if got, want := rel.Insert(args), ref.insert(args); got != want {
+					t.Fatalf("seed %d op %d: Insert(%v) = %v, ref %v", seed, op, args, got, want)
+				}
+			case 1:
+				if got, want := rel.Contains(args), ref.contains(args); got != want {
+					t.Fatalf("seed %d op %d: Contains(%v) = %v, ref %v", seed, op, args, got, want)
+				}
+			default:
+				// Pattern with a random mix of bound and variable positions.
+				pattern := make([]ast.Term, arity)
+				for i := range pattern {
+					if rng.Intn(2) == 0 {
+						pattern[i] = ast.Var{Name: fmt.Sprintf("X%d", i)}
+					} else {
+						pattern[i] = randomGroundTerm(rng, 0)
+					}
+				}
+				lo := 0
+				if rel.Len() > 0 {
+					lo = rng.Intn(rel.Len() + 1)
+				}
+				got := append([]int(nil), rel.Candidates(pattern, lo)...)
+				want := ref.candidates(pattern, lo)
+				sort.Ints(got)
+				sort.Ints(want)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("seed %d op %d: Candidates(%v, %d) = %v, ref %v", seed, op, pattern, lo, got, want)
+				}
+			}
+			if rel.Len() != len(ref.tuples) {
+				t.Fatalf("seed %d op %d: Len = %d, ref %d", seed, op, rel.Len(), len(ref.tuples))
+			}
+		}
+		// Tuple round-trip: decoded tuples equal the reference's, in order.
+		for i := 0; i < rel.Len(); i++ {
+			got, want := rel.Tuple(i), ref.tuples[i]
+			for j := range want {
+				if !got[j].Equal(want[j]) {
+					t.Fatalf("seed %d: Tuple(%d)[%d] = %s, ref %s", seed, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}

@@ -2,161 +2,271 @@
 // relations with per-column hash indexes, plus a Store keyed by predicate.
 // It is the substrate under the grounder's possible-atom fixpoint and under
 // the classical Datalog baselines.
+//
+// Tuples are stored as interned term IDs (internal/term): Insert interns
+// each argument once and every later membership test, index probe and join
+// comparison is an int32 operation, instead of the per-call string
+// re-serialisation of the original string-keyed layout.
 package storage
 
 import (
-	"strings"
+	"sort"
 
 	"repro/internal/ast"
+	"repro/internal/term"
 )
 
-// termKey returns a canonical string for a ground term, used as index key.
-func termKey(t ast.Term) string {
-	var b strings.Builder
-	writeTermKey(&b, t)
-	return b.String()
-}
-
-func writeTermKey(b *strings.Builder, t ast.Term) {
-	switch t := t.(type) {
-	case ast.Sym:
-		b.WriteByte('s')
-		b.WriteString(string(t))
-	case ast.Int:
-		b.WriteByte('i')
-		b.WriteString(t.String())
-	case ast.Compound:
-		b.WriteByte('c')
-		b.WriteString(t.Functor)
-		b.WriteByte('(')
-		for i, a := range t.Args {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			writeTermKey(b, a)
-		}
-		b.WriteByte(')')
-	case ast.Var:
-		b.WriteByte('v')
-		b.WriteString(t.Name)
-	}
-}
-
-func tupleKey(args []ast.Term) string {
-	var b strings.Builder
-	for i, t := range args {
-		if i > 0 {
-			b.WriteByte('\x00')
-		}
-		writeTermKey(&b, t)
-	}
-	return b.String()
-}
-
 // Relation is a set of ground tuples of fixed arity with one hash index per
-// column. Tuples are append-only.
+// column. Tuples are append-only and held as a flat []term.ID, arity ids
+// per tuple.
 type Relation struct {
-	arity  int
-	tuples [][]ast.Term
-	seen   map[string]int // tuple key -> index in tuples
-	cols   []map[string][]int
+	tab   *term.Table
+	arity int
+	flat  []term.ID // len = arity * Len()
+	// seen buckets tuple indexes by the FNV-1a hash of their ID tuple;
+	// collisions are resolved by comparing the stored ids.
+	seen map[uint64][]int32
+	cols []map[term.ID][]int32
 }
 
-// NewRelation returns an empty relation of the given arity.
-func NewRelation(arity int) *Relation {
-	r := &Relation{arity: arity, seen: make(map[string]int)}
-	r.cols = make([]map[string][]int, arity)
+// NewRelation returns an empty relation of the given arity over tab.
+func NewRelation(tab *term.Table, arity int) *Relation {
+	r := &Relation{tab: tab, arity: arity, seen: make(map[uint64][]int32)}
+	r.cols = make([]map[term.ID][]int32, arity)
 	for i := range r.cols {
-		r.cols[i] = make(map[string][]int)
+		r.cols[i] = make(map[term.ID][]int32)
 	}
 	return r
 }
+
+// Table returns the term table the relation interns into.
+func (r *Relation) Table() *term.Table { return r.tab }
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	if r.arity == 0 {
+		return len(r.flat) // arity-0 relations store one sentinel id per tuple
+	}
+	return len(r.flat) / r.arity
+}
+
+// row returns the ids of the i-th tuple (a view into the flat storage).
+func (r *Relation) row(i int) []term.ID {
+	if r.arity == 0 {
+		return nil
+	}
+	return r.flat[i*r.arity : (i+1)*r.arity]
+}
+
+// TupleIDs returns the interned ids of the i-th tuple (insertion order).
+// The slice aliases internal storage; callers must not modify it.
+func (r *Relation) TupleIDs(i int) []term.ID { return r.row(i) }
+
+// Tuple returns the i-th tuple decoded to AST terms. It allocates; hot
+// paths should use TupleIDs.
+func (r *Relation) Tuple(i int) []ast.Term {
+	ids := r.row(i)
+	out := make([]ast.Term, len(ids))
+	for j, id := range ids {
+		out[j] = r.tab.Term(id)
+	}
+	return out
+}
+
+// lookupIndex returns the insertion index of the ID tuple, or -1.
+func (r *Relation) lookupIndex(ids []term.ID) int {
+	h := term.HashIDs(ids)
+	for _, i := range r.seen[h] {
+		if idsEqual(r.row(int(i)), ids) {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+func idsEqual(a, b []term.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertIDs adds a tuple of already-interned ids; it reports whether the
+// tuple was new. The ids are copied.
+func (r *Relation) InsertIDs(ids []term.ID) bool {
+	if len(ids) != r.arity {
+		panic("storage: tuple arity mismatch")
+	}
+	h := term.HashIDs(ids)
+	for _, i := range r.seen[h] {
+		if idsEqual(r.row(int(i)), ids) {
+			return false
+		}
+	}
+	idx := int32(r.Len())
+	if r.arity == 0 {
+		r.flat = append(r.flat, term.None) // sentinel; only Len matters
+	} else {
+		r.flat = append(r.flat, ids...)
+	}
+	r.seen[h] = append(r.seen[h], idx)
+	for c, id := range ids {
+		r.cols[c][id] = append(r.cols[c][id], idx)
+	}
+	return true
+}
 
 // Insert adds a ground tuple; it reports whether the tuple was new.
 func (r *Relation) Insert(args []ast.Term) bool {
 	if len(args) != r.arity {
 		panic("storage: tuple arity mismatch")
 	}
-	k := tupleKey(args)
-	if _, dup := r.seen[k]; dup {
+	var buf [8]term.ID
+	ids := buf[:0]
+	for _, t := range args {
+		ids = append(ids, r.tab.Intern(t))
+	}
+	return r.InsertIDs(ids)
+}
+
+// ContainsIDs reports whether the ID tuple is present.
+func (r *Relation) ContainsIDs(ids []term.ID) bool { return r.lookupIndex(ids) >= 0 }
+
+// Contains reports whether the ground tuple is present. Terms never
+// interned cannot be in any tuple, so the test is a pure lookup.
+func (r *Relation) Contains(args []ast.Term) bool {
+	if len(args) != r.arity {
 		return false
 	}
-	idx := len(r.tuples)
-	r.seen[k] = idx
-	r.tuples = append(r.tuples, args)
-	for c, t := range args {
-		ck := termKey(t)
-		r.cols[c][ck] = append(r.cols[c][ck], idx)
+	var buf [8]term.ID
+	ids := buf[:0]
+	for _, t := range args {
+		id, ok := r.tab.Lookup(t)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
 	}
-	return true
+	return r.ContainsIDs(ids)
 }
 
-// Contains reports whether the ground tuple is present.
-func (r *Relation) Contains(args []ast.Term) bool {
-	_, ok := r.seen[tupleKey(args)]
-	return ok
+// cutBucket returns the position of the first index >= lo in the ascending
+// bucket. Buckets are ascending because tuples are append-only, so a delta
+// scan is a binary search to the cut point, not a filtered copy.
+func cutBucket(bucket []int32, lo int) int {
+	if lo == 0 || len(bucket) == 0 || bucket[0] >= int32(lo) {
+		return 0
+	}
+	return sort.Search(len(bucket), func(i int) bool { return bucket[i] >= int32(lo) })
 }
 
-// Tuple returns the i-th tuple (insertion order). The slice is shared.
-func (r *Relation) Tuple(i int) []ast.Term { return r.tuples[i] }
-
-// Candidates returns tuple indexes to examine for a pattern whose arguments
-// may contain variables: if some pattern argument is ground, the smallest
-// matching column index bucket is returned, otherwise all tuple indexes
-// from lo (inclusive) onward. lo supports delta scans over the append-only
-// tuple list. The returned indexes are not guaranteed to match; callers
-// must still Match.
-func (r *Relation) Candidates(pattern []ast.Term, lo int) []int {
-	best := -1
-	var bestBucket []int
+// bestBucket picks the smallest column bucket among the bound pattern
+// positions. It returns (bucket, true) when some position is bound, where a
+// nil bucket means no tuple can match.
+func (r *Relation) bestBucket(pattern []term.ID) ([]int32, bool) {
+	var best []int32
+	bound := false
 	for c := 0; c < r.arity && c < len(pattern); c++ {
-		if pattern[c] == nil || !pattern[c].Ground() {
+		if pattern[c] == term.None {
 			continue
 		}
-		bucket := r.cols[c][termKey(pattern[c])]
-		if best == -1 || len(bucket) < len(bestBucket) {
-			best = c
-			bestBucket = bucket
+		b := r.cols[c][pattern[c]]
+		if !bound || len(b) < len(best) {
+			best = b
+		}
+		bound = true
+		if len(best) == 0 {
+			break
 		}
 	}
-	if best >= 0 {
-		if lo == 0 {
-			return bestBucket
-		}
-		out := make([]int, 0, len(bestBucket))
-		for _, i := range bestBucket {
-			if i >= lo {
-				out = append(out, i)
+	return best, bound
+}
+
+// EachCandidate calls fn with the index of every tuple that may match the
+// pattern, in ascending insertion order starting at lo: pattern positions
+// holding an interned id restrict the scan to the smallest matching column
+// bucket; term.None positions are unconstrained. Candidates are not
+// guaranteed to match on the other columns; callers must still compare.
+// Iteration stops at the first non-nil error, which is returned. The
+// iteration allocates nothing.
+func (r *Relation) EachCandidate(pattern []term.ID, lo int, fn func(i int) error) error {
+	bucket, bound := r.bestBucket(pattern)
+	if bound {
+		for _, i := range bucket[cutBucket(bucket, lo):] {
+			if err := fn(int(i)); err != nil {
+				return err
 			}
 		}
-		return out
+		return nil
 	}
-	out := make([]int, 0, len(r.tuples)-lo)
-	for i := lo; i < len(r.tuples); i++ {
+	for i, n := lo, r.Len(); i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Candidates returns tuple indexes to examine for a pattern whose
+// arguments may contain variables, as EachCandidate does for an interned
+// pattern: ground argument positions restrict the scan to the smallest
+// matching column bucket, from lo (inclusive) onward. Kept for callers and
+// tests that want a materialised slice; join loops use EachCandidate.
+func (r *Relation) Candidates(pattern []ast.Term, lo int) []int {
+	var buf [8]term.ID
+	ids := buf[:0]
+	for c := 0; c < r.arity && c < len(pattern); c++ {
+		id := term.None
+		if pattern[c] != nil && pattern[c].Ground() {
+			got, ok := r.tab.Lookup(pattern[c])
+			if ok {
+				id = got
+			}
+			// A ground term never interned matches nothing: keep id at
+			// term.None only if we want "unconstrained" — here the column
+			// is bound to a missing term, so the candidate set is empty.
+			if !ok {
+				return nil
+			}
+		}
+		ids = append(ids, id)
+	}
+	var out []int
+	r.EachCandidate(ids, lo, func(i int) error { //nolint:errcheck // fn never errors
 		out = append(out, i)
-	}
+		return nil
+	})
 	return out
 }
 
-// Store is a set of relations keyed by predicate.
+// Store is a set of relations keyed by predicate, sharing one term table.
 type Store struct {
+	tab  *term.Table
 	rels map[ast.PredKey]*Relation
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store { return &Store{rels: make(map[ast.PredKey]*Relation)} }
+// NewStore returns an empty store with a fresh term table.
+func NewStore() *Store { return NewStoreWith(term.NewTable()) }
+
+// NewStoreWith returns an empty store interning into tab, so callers can
+// share one term table between the store and their own atom tables.
+func NewStoreWith(tab *term.Table) *Store {
+	return &Store{tab: tab, rels: make(map[ast.PredKey]*Relation)}
+}
+
+// Table returns the store's term table.
+func (s *Store) Table() *term.Table { return s.tab }
 
 // Rel returns the relation for key, creating it if needed.
 func (s *Store) Rel(k ast.PredKey) *Relation {
 	r, ok := s.rels[k]
 	if !ok {
-		r = NewRelation(k.Arity)
+		r = NewRelation(s.tab, k.Arity)
 		s.rels[k] = r
 	}
 	return r

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/ast"
+	"repro/internal/term"
 )
 
 func tup(names ...string) []ast.Term {
@@ -15,7 +16,7 @@ func tup(names ...string) []ast.Term {
 }
 
 func TestRelationInsertDedup(t *testing.T) {
-	r := NewRelation(2)
+	r := NewRelation(term.NewTable(), 2)
 	if !r.Insert(tup("a", "b")) {
 		t.Error("first insert rejected")
 	}
@@ -34,13 +35,13 @@ func TestRelationInsertDedup(t *testing.T) {
 }
 
 func TestRelationKeyInjective(t *testing.T) {
-	r := NewRelation(2)
+	r := NewRelation(term.NewTable(), 2)
 	r.Insert([]ast.Term{ast.Sym("a"), ast.Sym("b")})
 	// A tuple whose rendering could collide must still be distinct.
 	if r.Contains([]ast.Term{ast.Sym("a\x00b"), ast.Sym("")}) {
 		t.Error("tuple key not injective")
 	}
-	r2 := NewRelation(1)
+	r2 := NewRelation(term.NewTable(), 1)
 	r2.Insert([]ast.Term{ast.Int(1)})
 	if r2.Contains([]ast.Term{ast.Sym("1")}) {
 		t.Error("int/symbol collision")
@@ -48,7 +49,7 @@ func TestRelationKeyInjective(t *testing.T) {
 }
 
 func TestCandidatesIndexSelection(t *testing.T) {
-	r := NewRelation(2)
+	r := NewRelation(term.NewTable(), 2)
 	for i := 0; i < 10; i++ {
 		r.Insert([]ast.Term{ast.Sym("x"), ast.Int(int64(i))})
 	}
@@ -71,7 +72,7 @@ func TestCandidatesIndexSelection(t *testing.T) {
 }
 
 func TestCandidatesDelta(t *testing.T) {
-	r := NewRelation(1)
+	r := NewRelation(term.NewTable(), 1)
 	for i := 0; i < 5; i++ {
 		r.Insert([]ast.Term{ast.Int(int64(i))})
 	}
@@ -124,5 +125,5 @@ func TestRelationArityPanic(t *testing.T) {
 			t.Error("arity mismatch did not panic")
 		}
 	}()
-	NewRelation(2).Insert(tup("a"))
+	NewRelation(term.NewTable(), 2).Insert(tup("a"))
 }

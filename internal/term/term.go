@@ -1,0 +1,182 @@
+// Package term implements a hash-consing interner for the term language of
+// internal/ast: every distinct ground term (symbol, integer, compound) is
+// assigned a dense int32 ID exactly once, making structural equality an
+// integer comparison and letting the storage layer keep tuples as []ID
+// instead of re-serialising terms to strings on every access.
+//
+// Variables are also accepted (keyed by name) so that callers which
+// tolerated variables in canonical-string keys — atom tables used for
+// diagnostics — keep working; relations only ever hold ground tuples.
+package term
+
+import (
+	"repro/internal/ast"
+)
+
+// ID identifies an interned term. IDs are dense: the first interned term
+// gets 0, the next 1, and so on, so they index directly into per-column
+// buckets and dense side tables.
+type ID int32
+
+// None is the sentinel for "no term": unbound pattern positions and failed
+// lookups.
+const None ID = -1
+
+// Table interns terms. The zero value is not usable; call NewTable. A
+// Table is not safe for concurrent mutation; the engine confines each
+// table to one grounding or evaluation run.
+type Table struct {
+	syms  map[string]ID
+	ints  map[int64]ID
+	vars  map[string]ID
+	comps map[string]ID // packed functor + arg-ID key -> ID
+	terms []ast.Term
+	buf   []byte // scratch for compound keys; reused across calls
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{
+		syms:  make(map[string]ID),
+		ints:  make(map[int64]ID),
+		vars:  make(map[string]ID),
+		comps: make(map[string]ID),
+	}
+}
+
+// Len returns the number of interned terms.
+func (t *Table) Len() int { return len(t.terms) }
+
+// Term returns the term for an id. The result shares structure with the
+// interned term; ground terms are immutable by convention.
+func (t *Table) Term(id ID) ast.Term { return t.terms[id] }
+
+func (t *Table) add(x ast.Term) ID {
+	id := ID(len(t.terms))
+	t.terms = append(t.terms, x)
+	return id
+}
+
+// AppendID packs an ID as 4 little-endian bytes. Shared key-encoding helper
+// for tables that build composite keys over term IDs (atom interning,
+// ground-instance dedup).
+func AppendID(b []byte, id ID) []byte {
+	v := int32(id)
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// compoundKey builds the canonical packed key for a compound with already
+// interned argument ids into t.buf and returns it. The functor is length-
+// prefixed so that functor bytes can never bleed into the argument ids.
+func (t *Table) compoundKey(functor string, args []ID) []byte {
+	t.buf = AppendID(t.buf[:0], ID(len(functor)))
+	t.buf = append(t.buf, functor...)
+	for _, id := range args {
+		t.buf = AppendID(t.buf, id)
+	}
+	return t.buf
+}
+
+// InternSym returns the id for the symbol s, interning it if needed. It is
+// Intern(ast.Sym(s)) without boxing the symbol into an interface on the
+// already-interned path.
+func (t *Table) InternSym(s string) ID {
+	if id, ok := t.syms[s]; ok {
+		return id
+	}
+	id := t.add(ast.Sym(s))
+	t.syms[s] = id
+	return id
+}
+
+// LookupSym returns the id of the symbol s without interning.
+func (t *Table) LookupSym(s string) (ID, bool) {
+	id, ok := t.syms[s]
+	return id, ok
+}
+
+// Intern returns the id for x, interning it (and, for compounds, every
+// subterm) if needed. Two structurally equal terms always receive the same
+// id, so ID equality is structural equality.
+func (t *Table) Intern(x ast.Term) ID {
+	switch x := x.(type) {
+	case ast.Sym:
+		return t.InternSym(string(x))
+	case ast.Int:
+		if id, ok := t.ints[int64(x)]; ok {
+			return id
+		}
+		id := t.add(x)
+		t.ints[int64(x)] = id
+		return id
+	case ast.Var:
+		if id, ok := t.vars[x.Name]; ok {
+			return id
+		}
+		id := t.add(x)
+		t.vars[x.Name] = id
+		return id
+	case ast.Compound:
+		var buf [8]ID
+		ids := buf[:0]
+		for _, a := range x.Args {
+			ids = append(ids, t.Intern(a))
+		}
+		key := t.compoundKey(x.Functor, ids)
+		if id, ok := t.comps[string(key)]; ok {
+			return id
+		}
+		id := t.add(x)
+		t.comps[string(key)] = id
+		return id
+	}
+	panic("term: intern of unknown term kind")
+}
+
+// Lookup returns the id of x without interning. The second result is false
+// when x (or any subterm) has never been interned — in particular, a ground
+// term not present in any relation of the owning store.
+func (t *Table) Lookup(x ast.Term) (ID, bool) {
+	switch x := x.(type) {
+	case ast.Sym:
+		id, ok := t.syms[string(x)]
+		return id, ok
+	case ast.Int:
+		id, ok := t.ints[int64(x)]
+		return id, ok
+	case ast.Var:
+		id, ok := t.vars[x.Name]
+		return id, ok
+	case ast.Compound:
+		var buf [8]ID
+		ids := buf[:0]
+		for _, a := range x.Args {
+			id, ok := t.Lookup(a)
+			if !ok {
+				return None, false
+			}
+			ids = append(ids, id)
+		}
+		id, ok := t.comps[string(t.compoundKey(x.Functor, ids))]
+		return id, ok
+	}
+	return None, false
+}
+
+// HashIDs returns an FNV-1a hash of an ID tuple, used by the storage layer
+// to key its seen-set without serialising the tuple.
+func HashIDs(ids []ID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		v := uint32(id)
+		h = (h ^ uint64(v&0xff)) * prime64
+		h = (h ^ uint64((v>>8)&0xff)) * prime64
+		h = (h ^ uint64((v>>16)&0xff)) * prime64
+		h = (h ^ uint64(v>>24)) * prime64
+	}
+	return h
+}

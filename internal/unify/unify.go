@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/term"
 )
 
 // Subst is a substitution: a finite mapping from variable names to terms,
@@ -238,6 +239,24 @@ func Match(s *Subst, pattern, g ast.Term) bool {
 		return true
 	}
 	return false
+}
+
+// MatchID extends s so that pattern instantiated by s equals the interned
+// ground term id over tab. It is the interned fast path of Match: an
+// unbound variable binds in O(1) to the decoded term, a ground pattern
+// reduces to an id comparison (never interned ⇒ cannot match), and only
+// partially bound compounds fall back to structural matching.
+func MatchID(s *Subst, pattern ast.Term, id term.ID, tab *term.Table) bool {
+	pattern = s.Walk(pattern)
+	if v, ok := pattern.(ast.Var); ok {
+		s.Bind(v, tab.Term(id))
+		return true
+	}
+	if pattern.Ground() {
+		pid, ok := tab.Lookup(pattern)
+		return ok && pid == id
+	}
+	return Match(s, pattern, tab.Term(id))
 }
 
 // MatchAtoms extends s to match a pattern atom against a ground atom.
