@@ -49,7 +49,7 @@ type Table struct {
 	byKey map[string]AtomID
 	atoms []ast.Atom
 	preds map[ast.PredKey][]AtomID
-	buf   []byte
+	buf   []byte // scratch for Intern/InternIDs keys; lookups must not touch it
 }
 
 // NewTable returns an empty atom table with its own term table.
@@ -97,7 +97,9 @@ func (t *Table) Intern(a ast.Atom) AtomID {
 
 // Lookup returns the id of a ground atom and whether it is interned. It
 // never interns: an atom whose predicate symbol or arguments are absent
-// from the term table cannot have been interned.
+// from the term table cannot have been interned. Lookup never touches the
+// table's shared scratch buffer, so concurrent Lookups on a table that is
+// no longer being interned into are safe.
 func (t *Table) Lookup(a ast.Atom) (AtomID, bool) {
 	pred, ok := t.tab.LookupSym(a.Pred)
 	if !ok {
@@ -112,16 +114,20 @@ func (t *Table) Lookup(a ast.Atom) (AtomID, bool) {
 		}
 		args = append(args, id)
 	}
-	t.buf = t.appendKey(t.buf[:0], pred, args)
-	id, ok := t.byKey[string(t.buf)]
+	var kb [64]byte
+	key := t.appendKey(kb[:0], pred, args)
+	id, ok := t.byKey[string(key)]
 	return id, ok
 }
 
 // LookupIDs returns the id of the ground atom with the given predicate
-// symbol id and already-interned argument ids, without interning.
+// symbol id and already-interned argument ids, without interning. Like
+// Lookup it is read-only and safe to call concurrently once interning is
+// done.
 func (t *Table) LookupIDs(pred term.ID, args []term.ID) (AtomID, bool) {
-	t.buf = t.appendKey(t.buf[:0], pred, args)
-	id, ok := t.byKey[string(t.buf)]
+	var kb [64]byte
+	key := t.appendKey(kb[:0], pred, args)
+	id, ok := t.byKey[string(key)]
 	return id, ok
 }
 

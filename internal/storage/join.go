@@ -66,15 +66,37 @@ func collectVars(t ast.Term, bound []string) []string {
 	return bound
 }
 
+// seedBound appends the names of t's variables that s already resolves to
+// a ground term, so the planner credits positions bound by the incoming
+// substitution (e.g. a head match) as selective.
+func seedBound(s *unify.Subst, t ast.Term, bound []string) []string {
+	switch t := t.(type) {
+	case ast.Var:
+		if !nameIn(bound, t.Name) {
+			w := s.Walk(t)
+			if _, isVar := w.(ast.Var); !isVar && w.Ground() {
+				bound = append(bound, t.Name)
+			}
+		}
+	case ast.Compound:
+		for _, a := range t.Args {
+			bound = seedBound(s, a, bound)
+		}
+	}
+	return bound
+}
+
 // PlanJoin returns the greedy join order: starting from the literal in
 // first (or nothing), repeatedly pick the unplaced literal with the most
 // bound argument positions, breaking ties by smallest relation then by
 // source position. first >= 0 forces that literal to the front (the
 // semi-naive delta literal, whose restricted scan should bind before
-// anything else). The plan depends only on boundness and relation sizes,
-// never on body order beyond final tie-breaks, which makes join cost
-// insensitive to how the program author ordered the body.
-func PlanJoin(lits []JoinLit, first int) []int {
+// anything else). Variables the incoming substitution s already grounds
+// (a nil s means none) count as bound from the start. The plan depends
+// only on boundness and relation sizes, never on body order beyond final
+// tie-breaks, which makes join cost insensitive to how the program author
+// ordered the body.
+func PlanJoin(s *unify.Subst, lits []JoinLit, first int) []int {
 	n := len(lits)
 	order := make([]int, 0, n)
 	var usedBuf [16]bool
@@ -84,6 +106,13 @@ func PlanJoin(lits []JoinLit, first int) []int {
 	}
 	var boundBuf [24]string
 	bound := boundBuf[:0]
+	if s != nil && s.Len() > 0 {
+		for i := range lits {
+			for _, a := range lits[i].Args {
+				bound = seedBound(s, a, bound)
+			}
+		}
+	}
 	place := func(i int) {
 		order = append(order, i)
 		used[i] = true
@@ -148,7 +177,7 @@ func Join(s *unify.Subst, lits []JoinLit, first int, plan bool, yield func() err
 	}
 	var order []int
 	if plan {
-		order = PlanJoin(lits, first)
+		order = PlanJoin(s, lits, first)
 	} else {
 		order = sequentialOrder(n, first)
 	}

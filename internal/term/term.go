@@ -23,15 +23,17 @@ type ID int32
 const None ID = -1
 
 // Table interns terms. The zero value is not usable; call NewTable. A
-// Table is not safe for concurrent mutation; the engine confines each
-// table to one grounding or evaluation run.
+// Table is not safe for concurrent mutation; the engine confines interning
+// to one grounding or evaluation run. Once interning is done, the
+// read-only methods (Lookup, LookupSym, Term, Len) are safe to call from
+// multiple goroutines.
 type Table struct {
 	syms  map[string]ID
 	ints  map[int64]ID
 	vars  map[string]ID
 	comps map[string]ID // packed functor + arg-ID key -> ID
 	terms []ast.Term
-	buf   []byte // scratch for compound keys; reused across calls
+	buf   []byte // scratch for Intern's compound keys; lookups must not touch it
 }
 
 // NewTable returns an empty table.
@@ -66,15 +68,17 @@ func AppendID(b []byte, id ID) []byte {
 }
 
 // compoundKey builds the canonical packed key for a compound with already
-// interned argument ids into t.buf and returns it. The functor is length-
-// prefixed so that functor bytes can never bleed into the argument ids.
-func (t *Table) compoundKey(functor string, args []ID) []byte {
-	t.buf = AppendID(t.buf[:0], ID(len(functor)))
-	t.buf = append(t.buf, functor...)
+// interned argument ids into the scratch buffer b and returns it. The
+// functor is length-prefixed so that functor bytes can never bleed into the
+// argument ids. Taking the scratch as an argument keeps Lookup read-only
+// (callers pass a stack buffer) while Intern reuses the table's own.
+func compoundKey(b []byte, functor string, args []ID) []byte {
+	b = AppendID(b[:0], ID(len(functor)))
+	b = append(b, functor...)
 	for _, id := range args {
-		t.buf = AppendID(t.buf, id)
+		b = AppendID(b, id)
 	}
-	return t.buf
+	return b
 }
 
 // InternSym returns the id for the symbol s, interning it if needed. It is
@@ -122,12 +126,12 @@ func (t *Table) Intern(x ast.Term) ID {
 		for _, a := range x.Args {
 			ids = append(ids, t.Intern(a))
 		}
-		key := t.compoundKey(x.Functor, ids)
-		if id, ok := t.comps[string(key)]; ok {
+		t.buf = compoundKey(t.buf, x.Functor, ids)
+		if id, ok := t.comps[string(t.buf)]; ok {
 			return id
 		}
 		id := t.add(x)
-		t.comps[string(key)] = id
+		t.comps[string(t.buf)] = id
 		return id
 	}
 	panic("term: intern of unknown term kind")
@@ -135,7 +139,9 @@ func (t *Table) Intern(x ast.Term) ID {
 
 // Lookup returns the id of x without interning. The second result is false
 // when x (or any subterm) has never been interned — in particular, a ground
-// term not present in any relation of the owning store.
+// term not present in any relation of the owning store. Lookup is genuinely
+// read-only (it never touches the table's scratch buffer), so concurrent
+// Lookups on a table that is no longer being interned into are safe.
 func (t *Table) Lookup(x ast.Term) (ID, bool) {
 	switch x := x.(type) {
 	case ast.Sym:
@@ -157,7 +163,8 @@ func (t *Table) Lookup(x ast.Term) (ID, bool) {
 			}
 			ids = append(ids, id)
 		}
-		id, ok := t.comps[string(t.compoundKey(x.Functor, ids))]
+		var kb [64]byte
+		id, ok := t.comps[string(compoundKey(kb[:0], x.Functor, ids))]
 		return id, ok
 	}
 	return None, false
