@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	olpbench [-exp all|figures|B1..B9] [-quick] [-parallel] [-workers n]
+//	olpbench [-exp all|figures|B1..B10] [-quick] [-parallel] [-workers n]
 //	         [-timeout d] [-json]
 //
-// -json runs a fixed set of B1–B5 and B7 measurements and emits a JSON
-// array of {name, ns_op, allocs_op} records to stdout — the same shape the
-// repo's BENCH_*.json trajectory files use — instead of the tables.
+// -json runs a fixed set of B1–B5, B7 and B10 measurements and emits a
+// JSON array of {name, ns_op, allocs_op} records to stdout — the same
+// shape the repo's BENCH_*.json trajectory files use — instead of the
+// tables.
 //
 // -parallel (or -exp B9) runs the batched-query throughput experiment:
 // a batch of independent least-model queries fanned over the bounded
@@ -80,6 +81,7 @@ func main() {
 	run("B7", b7)
 	run("B8", b8)
 	run("B9", b9)
+	run("B10", b10)
 }
 
 func header(title string) {
@@ -235,6 +237,16 @@ func benchJSON() {
 		add(measureOp("B7bPruneOff/cycle_n=8", func() {
 			must(stable.StableModels(v, stable.Options{NoPrune: true}))
 		}))
+	}
+
+	// B10: incremental Update+requery vs reparse-and-rebuild. State
+	// mutates across updates, so this is measured as one episode of k
+	// genuine updates rather than through measureOp's repeat loop.
+	{
+		const n, k = 10000, 10
+		inc, rebuild := b10Measure(n, k, 0)
+		add(benchResult{Name: fmt.Sprintf("B10UpdateIncremental/n=%d_k=%d", n, k), NsOp: inc.Nanoseconds()})
+		add(benchResult{Name: fmt.Sprintf("B10UpdateRebuild/n=%d_k=%d", n, k), NsOp: rebuild.Nanoseconds()})
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -740,6 +752,80 @@ func b9() {
 	}
 	fmt.Printf("timeout scenario: deadline %v -> %d/%d queries completed, %d interrupted, wall time %v\n",
 		budget, completed, nTasks, interrupted, deadTime)
+}
+
+// ---------- B10 ----------
+
+// b10Source renders the update-workload program: a kb component with n
+// facts, a policy deriving ok/1 from each, and an exception component the
+// updates land in. extra holds the bad/1 facts asserted so far — the
+// rebuild side reparses the whole text with them inlined, which is exactly
+// what a caller without incremental maintenance would do.
+func b10Source(n int, extra []string) string {
+	var sb strings.Builder
+	sb.WriteString("module kb {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "p(c%d).\n", i)
+	}
+	sb.WriteString("}\nmodule policy extends kb { ok(X) :- p(X). }\nmodule exc extends policy {\n-ok(X) :- bad(X).\n")
+	for _, f := range extra {
+		sb.WriteString(f)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// b10Measure runs one episode of k updates and returns the mean wall time
+// per update+requery for the incremental engine and for reparse-and-rebuild.
+// The requery is goal-directed (Prove of the literal the update decided) on
+// both sides, so the two modes differ only in how the fact base is
+// maintained. Update j asserts bad(c{base+j}) so every update is a genuine
+// state change, never a no-op.
+func b10Measure(n, k, base int) (inc, rebuild time.Duration) {
+	ctx := context.Background()
+	eng := must(ordlog.NewEngine(must(ordlog.ParseProgram(b10Source(n, nil))), ordlog.Config{}))
+	start := time.Now()
+	for j := 0; j < k; j++ {
+		f := must(ordlog.ParseLiteral(fmt.Sprintf("bad(c%d)", base+j)))
+		snap := must(eng.Update(ctx, "exc", []ordlog.Literal{f}))
+		goal := must(ordlog.ParseLiteral(fmt.Sprintf("-ok(c%d)", base+j)))
+		if !must(snap.Prove("exc", goal)) {
+			panic("olpbench: B10 incremental requery failed")
+		}
+	}
+	inc = time.Since(start) / time.Duration(k)
+
+	var extra []string
+	start = time.Now()
+	for j := 0; j < k; j++ {
+		extra = append(extra, fmt.Sprintf("bad(c%d).", base+j))
+		e := must(ordlog.NewEngine(must(ordlog.ParseProgram(b10Source(n, extra))), ordlog.Config{}))
+		goal := must(ordlog.ParseLiteral(fmt.Sprintf("-ok(c%d)", base+j)))
+		if !must(e.Prove("exc", goal)) {
+			panic("olpbench: B10 rebuild requery failed")
+		}
+	}
+	rebuild = time.Since(start) / time.Duration(k)
+	return inc, rebuild
+}
+
+func b10() {
+	header("B10: incremental fact maintenance, Update+requery vs reparse-and-rebuild")
+	sizes := []int{1000, 10000}
+	if *quick {
+		sizes = []int{1000}
+	}
+	const k = 10
+	w := tw()
+	fmt.Fprintln(w, "n facts\tk updates\tincremental/update\trebuild/update\trebuild/incremental")
+	for _, n := range sizes {
+		inc, rebuild := b10Measure(n, k, 0)
+		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%.1fx\n", n, k, inc, rebuild, float64(rebuild)/float64(inc))
+	}
+	w.Flush()
+	fmt.Println("note: both sides answer the same goal-directed query; the gap is the cost of")
+	fmt.Println("      reparsing and regrounding the fact base versus applying a snapshot delta")
 }
 
 // ---------- B6 ----------

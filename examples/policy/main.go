@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -111,14 +112,17 @@ func main() {
 	}
 
 	// Declare an incident and re-evaluate: incident rules overrule all.
-	if err := ordlog.MergeFacts(prog, "site", "incident_now."); err != nil {
-		log.Fatal(err)
-	}
-	eng2, err := ordlog.NewEngine(prog, ordlog.Config{})
+	// Engine.Update publishes a new immutable snapshot incrementally — no
+	// reparse or rebuild — and readers still holding m keep their version.
+	facts, err := ordlog.ParseFacts("incident_now.")
 	if err != nil {
 		log.Fatal(err)
 	}
-	m2, err := eng2.LeastModel("site")
+	snap, err := eng.Update(context.Background(), "site", facts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := snap.LeastModel("site")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,11 +25,11 @@ type QueryResult struct {
 
 // QueryBatch evaluates a slice of queries — possibly across different
 // components — over a bounded worker pool and returns per-query results in
-// input order. Least models are computed once per component (singleflight)
-// and shared by every request that targets it, so a batch of M queries
-// over K components runs K fixpoints, not M.
-func (e *Engine) QueryBatch(reqs []QueryRequest, opts batch.Options) []QueryResult {
-	return e.QueryBatchCtx(context.Background(), reqs, opts)
+// input order, all against this snapshot. Least models are computed once
+// per component (singleflight) and shared by every request that targets
+// it, so a batch of M queries over K components runs K fixpoints, not M.
+func (s *Snapshot) QueryBatch(reqs []QueryRequest, opts batch.Options) []QueryResult {
+	return s.QueryBatchCtx(context.Background(), reqs, opts)
 }
 
 // QueryBatchCtx is QueryBatch with cooperative cancellation: once the
@@ -38,12 +38,12 @@ func (e *Engine) QueryBatch(reqs []QueryRequest, opts batch.Options) []QueryResu
 // never produced a result carries an interrupt.Error (tagged with its
 // index). Finished results are kept — the batch degrades to partial
 // answers instead of discarding completed work.
-func (e *Engine) QueryBatchCtx(ctx context.Context, reqs []QueryRequest, opts batch.Options) []QueryResult {
+func (s *Snapshot) QueryBatchCtx(ctx context.Context, reqs []QueryRequest, opts batch.Options) []QueryResult {
 	out := make([]QueryResult, len(reqs))
 	ran := make([]bool, len(reqs))
-	batchErr := batch.EachCtx(ctx, len(reqs), opts, func(_, i int) {
+	batchErr := batch.EachCtx(ctx, len(reqs), s.eng.fillBatch(opts), func(_, i int) {
 		ran[i] = true
-		bindings, err := e.QueryCtx(ctx, reqs[i].Comp, reqs[i].Query)
+		bindings, err := s.QueryCtx(ctx, reqs[i].Comp, reqs[i].Query)
 		if err != nil {
 			out[i] = QueryResult{Err: fmt.Errorf("item %d: %w", i, err)}
 			return
@@ -62,36 +62,74 @@ func (e *Engine) QueryBatchCtx(ctx context.Context, reqs []QueryRequest, opts ba
 
 // LeastModelAll computes the least model of every named component ("" is
 // not accepted here; name components explicitly) over a bounded worker
-// pool. Results and errors are positional; per-item errors are tagged with
-// the item index. Models are cached on the engine exactly as with
-// sequential LeastModel calls.
-func (e *Engine) LeastModelAll(comps []string, opts batch.Options) ([]*Model, []error) {
-	return e.LeastModelAllCtx(context.Background(), comps, opts)
+// pool, all against this snapshot. Results and errors are positional;
+// per-item errors are tagged with the item index.
+func (s *Snapshot) LeastModelAll(comps []string, opts batch.Options) ([]*Model, []error) {
+	return s.LeastModelAllCtx(context.Background(), comps, opts)
 }
 
 // LeastModelAllCtx is LeastModelAll with cooperative cancellation: items
 // not yet started when the context dies are skipped, in-flight fixpoints
 // are interrupted at their checkpoints, and both report an interrupt.Error
 // in their error slot. Models already computed (or cached) are returned.
-func (e *Engine) LeastModelAllCtx(ctx context.Context, comps []string, opts batch.Options) ([]*Model, []error) {
-	return batch.MapCtx(ctx, comps, opts, func(comp string) (*Model, error) {
-		return e.LeastModelCtx(ctx, comp)
+func (s *Snapshot) LeastModelAllCtx(ctx context.Context, comps []string, opts batch.Options) ([]*Model, []error) {
+	return batch.MapCtx(ctx, comps, s.eng.fillBatch(opts), func(comp string) (*Model, error) {
+		return s.LeastModelCtx(ctx, comp)
 	})
 }
 
 // ProveBatch answers a slice of goal-directed membership queries over a
-// bounded worker pool. Proofs within one component share that component's
-// memoising prover and are serialised; proofs across components run in
-// parallel. Per-item errors are tagged with the item index.
-func (e *Engine) ProveBatch(comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
-	return e.ProveBatchCtx(context.Background(), comp, lits, opts)
+// bounded worker pool, all against this snapshot. Proofs within one
+// component share that component's memoising prover and are serialised;
+// proofs across components run in parallel. Per-item errors are tagged
+// with the item index.
+func (s *Snapshot) ProveBatch(comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
+	return s.ProveBatchCtx(context.Background(), comp, lits, opts)
 }
 
 // ProveBatchCtx is ProveBatch with cooperative cancellation; answers
 // already proved are returned, unstarted and interrupted items carry an
 // interrupt.Error.
-func (e *Engine) ProveBatchCtx(ctx context.Context, comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
-	return batch.MapCtx(ctx, lits, opts, func(l ast.Literal) (bool, error) {
-		return e.ProveCtx(ctx, comp, l)
+func (s *Snapshot) ProveBatchCtx(ctx context.Context, comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
+	return batch.MapCtx(ctx, lits, s.eng.fillBatch(opts), func(l ast.Literal) (bool, error) {
+		return s.ProveCtx(ctx, comp, l)
 	})
+}
+
+// QueryBatch evaluates a slice of queries over a bounded worker pool
+// against one pinned snapshot: the engine's current version is captured
+// once for the whole batch, so a concurrent Update never changes the
+// answers of later items relative to earlier ones.
+func (e *Engine) QueryBatch(reqs []QueryRequest, opts batch.Options) []QueryResult {
+	return e.Current().QueryBatch(reqs, opts)
+}
+
+// QueryBatchCtx is QueryBatch with cooperative cancellation (see
+// Snapshot.QueryBatchCtx). The whole batch reads one pinned snapshot.
+func (e *Engine) QueryBatchCtx(ctx context.Context, reqs []QueryRequest, opts batch.Options) []QueryResult {
+	return e.Current().QueryBatchCtx(ctx, reqs, opts)
+}
+
+// LeastModelAll computes the least model of every named component over a
+// bounded worker pool against one pinned snapshot.
+func (e *Engine) LeastModelAll(comps []string, opts batch.Options) ([]*Model, []error) {
+	return e.Current().LeastModelAll(comps, opts)
+}
+
+// LeastModelAllCtx is LeastModelAll with cooperative cancellation (see
+// Snapshot.LeastModelAllCtx). The whole batch reads one pinned snapshot.
+func (e *Engine) LeastModelAllCtx(ctx context.Context, comps []string, opts batch.Options) ([]*Model, []error) {
+	return e.Current().LeastModelAllCtx(ctx, comps, opts)
+}
+
+// ProveBatch answers a slice of goal-directed membership queries over a
+// bounded worker pool against one pinned snapshot.
+func (e *Engine) ProveBatch(comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
+	return e.Current().ProveBatch(comp, lits, opts)
+}
+
+// ProveBatchCtx is ProveBatch with cooperative cancellation (see
+// Snapshot.ProveBatchCtx). The whole batch reads one pinned snapshot.
+func (e *Engine) ProveBatchCtx(ctx context.Context, comp string, lits []ast.Literal, opts batch.Options) ([]bool, []error) {
+	return e.Current().ProveBatchCtx(ctx, comp, lits, opts)
 }

@@ -8,36 +8,37 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
+	"repro/internal/batch"
 	"repro/internal/eval"
 	"repro/internal/ground"
 	"repro/internal/interp"
 	"repro/internal/interrupt"
-	"repro/internal/proof"
 	"repro/internal/stable"
 )
 
-// Config configures an Engine.
-type Config struct {
-	// Ground selects grounding mode, depth bound and budgets. The zero
-	// value means ground.DefaultOptions().
-	Ground ground.Options
-}
-
-// Engine holds a grounded ordered program and caches per-component views,
-// least models and provers. An Engine is immutable after construction:
-// callers that change the source program build a new Engine.
+// Engine holds a versioned, grounded ordered program. The fact base is
+// maintained through immutable snapshots: construction grounds the source
+// program into version 0, and Update/Retract publish new versions without
+// mutating old ones. Every query method on the Engine pins the current
+// snapshot for the duration of one call; callers that need several queries
+// to agree on a version hold a *Snapshot (Current) and query that instead.
 //
 // Concurrency contract: an Engine is safe for concurrent use by multiple
-// goroutines. Per-component views and least models are memoised with
-// singleflight semantics — N goroutines asking for the same component
-// compute each artifact exactly once and share the result. The returned
-// *Model values (and the interp.Interp they expose) are shared and must be
-// treated as read-only; callers that need a private copy clone the
-// interpretation. Goal-directed proofs (Prove, ProveExplain, ProveQuery)
-// share a memoising prover per component and are serialised per component;
-// queries against different components proceed in parallel.
+// goroutines, including concurrent updates — writers are serialised among
+// themselves and never block readers; a reader keeps the version it
+// pinned. Per-component views and least models are memoised per snapshot
+// with singleflight semantics — N goroutines asking for the same component
+// compute each artifact exactly once and share the result, and snapshots
+// whose visible rules agree on a component share the memo across versions.
+// The returned *Model values (and the interp.Interp they expose) are
+// shared and must be treated as read-only; callers that need a private
+// copy clone the interpretation. Goal-directed proofs (Prove,
+// ProveExplain, ProveQuery) share a memoising prover per component and are
+// serialised per component; queries against different components proceed
+// in parallel.
 //
 // Cancellation contract: every evaluation entry point has a ...Ctx variant
 // that stops at the engine's cooperative checkpoints once the context is
@@ -49,106 +50,98 @@ type Config struct {
 // running while any caller still wants it, and it is cancelled — without
 // poisoning the cache — only when the last waiter has given up.
 type Engine struct {
-	src *ast.OrderedProgram
-	gp  *ground.Program
+	src   *ast.OrderedProgram
+	cfg   Config
+	trace *tracer
 
-	mu    sync.Mutex
-	comps map[int]*compState
+	// writeMu serialises updates; baseFacts (the source program's ground
+	// fact rules, built lazily) is only touched under it. current is the
+	// published tip, advanced by updates and read lock-free by queries.
+	writeMu   sync.Mutex
+	baseFacts map[factKey]bool
+	current   atomic.Pointer[Snapshot]
 }
 
-// compState holds the lazily built per-component artifacts. The view is
-// construct-once/read-many under a sync.Once; the least model uses the
-// channel-based singleflight of lazyLeast so waiters can honour their own
-// contexts; proverSem (a 1-slot semaphore acquired with context) serialises
-// the memoising, non-reentrant goal-directed prover.
-type compState struct {
-	viewOnce sync.Once
-	view     *eval.View
-
-	least lazyLeast
-
-	proverSem chan struct{}
-	prover    *proof.Prover
-}
-
-// lazyLeast is a context-aware singleflight cell for one component's least
-// model. States: idle (done == nil, !ready), running (done != nil), ready
-// (ready == true; m/err cached forever). A run executes on a private
-// context detached from any caller; each waiter selects on its own context
-// and the run's done channel. The last waiter to abandon a run cancels it;
-// an interrupted run resets the cell to idle instead of caching the
-// interruption, so the next caller simply retries.
-type lazyLeast struct {
-	mu      sync.Mutex
-	done    chan struct{}
-	cancel  context.CancelFunc
-	waiters int
-	ready   bool
-	m       *Model
-	err     error
-}
-
-// NewEngine grounds the program. The program must be validated (parser
-// output always is; hand-built programs need Validate).
-func NewEngine(p *ast.OrderedProgram, cfg Config) (*Engine, error) {
-	return NewEngineCtx(context.Background(), p, cfg)
+// NewEngine grounds the program into the engine's initial snapshot. The
+// program must be validated (parser output always is; hand-built programs
+// need Validate). The configuration is cfg with the options applied on
+// top; an invalid result is rejected with a *ConfigError.
+func NewEngine(p *ast.OrderedProgram, cfg Config, opts ...Option) (*Engine, error) {
+	return NewEngineCtx(context.Background(), p, cfg, opts...)
 }
 
 // NewEngineCtx is NewEngine with cooperative cancellation of the grounding
 // phase (see ground.GroundCtx for the checkpoints). No partial engine is
 // returned on interruption.
-func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config) (*Engine, error) {
-	opts := cfg.Ground
-	zero := ground.Options{}
-	if opts == zero {
-		opts = ground.DefaultOptions()
+func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config, opts ...Option) (*Engine, error) {
+	for _, o := range opts {
+		o(&cfg)
 	}
-	gp, err := ground.GroundCtx(ctx, p, opts)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{src: p, cfg: cfg, trace: &tracer{w: cfg.Trace}}
+	gp, err := ground.GroundCtx(ctx, p, e.groundOpts())
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{src: p, gp: gp, comps: make(map[int]*compState)}, nil
+	e.current.Store(&Snapshot{eng: e, gp: gp, rules: gp.Rules, comps: make(map[int]*compState)})
+	e.trace.printf("ground: rules=%d atoms=%d", len(gp.Rules), gp.Tab.Len())
+	return e, nil
 }
 
-// comp returns the shared per-component state, creating it on first use.
-func (e *Engine) comp(i int) *compState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st, ok := e.comps[i]
-	if !ok {
-		st = &compState{proverSem: make(chan struct{}, 1)}
-		e.comps[i] = st
+// groundOpts returns the grounding options in effect (zero Config.Ground
+// means ground.DefaultOptions).
+func (e *Engine) groundOpts() ground.Options {
+	opts := e.cfg.Ground
+	if opts == (ground.Options{}) {
+		return ground.DefaultOptions()
 	}
-	return st
+	return opts
 }
 
-// resolve maps a component name ("" = DefaultComponent) to its position.
-func (e *Engine) resolve(comp string) (int, error) {
-	if comp == "" {
-		var err error
-		comp, err = e.DefaultComponent()
-		if err != nil {
-			return -1, err
-		}
+// fillStable applies Config.EnumBudget as the default leaf budget.
+func (e *Engine) fillStable(opts stable.Options) stable.Options {
+	if opts.MaxLeaves == 0 && e.cfg.EnumBudget > 0 {
+		opts.MaxLeaves = e.cfg.EnumBudget
 	}
-	i, ok := e.src.ComponentIndex(comp)
-	if !ok {
-		return -1, fmt.Errorf("core: unknown component %q", comp)
-	}
-	return i, nil
+	return opts
 }
 
-// Source returns the source program.
+// fillParallel applies Config.EnumBudget and Config.Workers as defaults.
+func (e *Engine) fillParallel(opts stable.ParallelOptions) stable.ParallelOptions {
+	opts.Options = e.fillStable(opts.Options)
+	if opts.Workers == 0 && e.cfg.Workers > 0 {
+		opts.Workers = e.cfg.Workers
+	}
+	return opts
+}
+
+// fillBatch applies Config.Workers as the default pool size.
+func (e *Engine) fillBatch(opts batch.Options) batch.Options {
+	if opts.Workers == 0 && e.cfg.Workers > 0 {
+		opts.Workers = e.cfg.Workers
+	}
+	return opts
+}
+
+// Current returns the engine's current snapshot. The snapshot is immutable;
+// queries against it are repeatable regardless of concurrent updates.
+func (e *Engine) Current() *Snapshot { return e.current.Load() }
+
+// Source returns the original source program. Updates do not rewrite it.
 func (e *Engine) Source() *ast.OrderedProgram { return e.src }
 
-// Grounded returns the ground program.
-func (e *Engine) Grounded() *ground.Program { return e.gp }
+// Grounded returns the current snapshot's ground program.
+func (e *Engine) Grounded() *ground.Program { return e.Current().Grounded() }
 
-// NumGroundRules returns the number of ground rule instances.
-func (e *Engine) NumGroundRules() int { return len(e.gp.Rules) }
+// NumGroundRules returns the number of live ground rule instances in the
+// current snapshot.
+func (e *Engine) NumGroundRules() int { return e.Current().NumGroundRules() }
 
-// NumAtoms returns the size of the (relevant) Herbrand base.
-func (e *Engine) NumAtoms() int { return e.gp.Tab.Len() }
+// NumAtoms returns the size of the (relevant) Herbrand base in the current
+// snapshot.
+func (e *Engine) NumAtoms() int { return e.Current().NumAtoms() }
 
 // DefaultComponent picks the component a query without an explicit target
 // refers to: the unique minimal element of the order (the most specific
@@ -179,30 +172,18 @@ func (e *Engine) DefaultComponent() (string, error) {
 	return "", fmt.Errorf("core: no unique most specific component (minimal: %v); name one explicitly", minimal)
 }
 
-// View returns the cached evaluation view for a component; comp == ""
-// selects DefaultComponent. The view is built exactly once per component
-// even under concurrent callers and is immutable afterwards.
-func (e *Engine) View(comp string) (*eval.View, error) {
-	i, err := e.resolve(comp)
-	if err != nil {
-		return nil, err
-	}
-	return e.viewAt(i), nil
-}
-
-func (e *Engine) viewAt(i int) *eval.View {
-	st := e.comp(i)
-	st.viewOnce.Do(func() { st.view = eval.NewView(e.gp, i) })
-	return st.view
-}
+// View returns the cached evaluation view for a component in the current
+// snapshot; comp == "" selects DefaultComponent. The view is built exactly
+// once per component and version even under concurrent callers and is
+// immutable afterwards.
+func (e *Engine) View(comp string) (*eval.View, error) { return e.Current().View(comp) }
 
 // LeastModel computes the least model of the program in the component
-// (lfp of the ordered immediate transformation, Theorem 1(b)). Results are
-// cached per component with singleflight semantics; callers must not
-// mutate the returned model's interpretation.
-func (e *Engine) LeastModel(comp string) (*Model, error) {
-	return e.LeastModelCtx(context.Background(), comp)
-}
+// (lfp of the ordered immediate transformation, Theorem 1(b)) as of the
+// current snapshot. Results are cached per component and version with
+// singleflight semantics; callers must not mutate the returned model's
+// interpretation.
+func (e *Engine) LeastModel(comp string) (*Model, error) { return e.Current().LeastModel(comp) }
 
 // LeastModelCtx is LeastModel with cooperative cancellation. The
 // singleflight cache stays single-flight: concurrent callers share one
@@ -213,83 +194,14 @@ func (e *Engine) LeastModel(comp string) (*Model, error) {
 // cache left clean for the next caller to retry). Deterministic evaluation
 // errors are cached exactly as with LeastModel.
 func (e *Engine) LeastModelCtx(ctx context.Context, comp string) (*Model, error) {
-	i, err := e.resolve(comp)
-	if err != nil {
-		return nil, err
-	}
-	st := e.comp(i)
-	ll := &st.least
-	for {
-		ll.mu.Lock()
-		if ll.ready {
-			m, err := ll.m, ll.err
-			ll.mu.Unlock()
-			return m, err
-		}
-		if err := ctx.Err(); err != nil {
-			ll.mu.Unlock()
-			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: err}
-		}
-		if ll.done == nil {
-			// Start the computation on a context detached from any one
-			// caller: its lifetime is "some waiter still wants this".
-			runCtx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			ll.done, ll.cancel = done, cancel
-			go func() {
-				v := e.viewAt(i)
-				in, err := v.LeastModelCtx(runCtx)
-				ll.mu.Lock()
-				if err != nil && errors.Is(err, interrupt.ErrInterrupted) {
-					// Abandoned run: reset to idle rather than caching the
-					// interruption — the result is a property of the
-					// program, not of the callers that gave up on it.
-					ll.done, ll.cancel = nil, nil
-				} else {
-					ll.ready = true
-					if err != nil {
-						ll.err = err
-					} else {
-						ll.m = &Model{view: v, in: in}
-					}
-					ll.done, ll.cancel = nil, nil
-				}
-				ll.mu.Unlock()
-				cancel()
-				close(done)
-			}()
-		}
-		done := ll.done
-		cancel := ll.cancel
-		ll.waiters++
-		ll.mu.Unlock()
-
-		select {
-		case <-done:
-			ll.mu.Lock()
-			ll.waiters--
-			ll.mu.Unlock()
-			// Loop: read the cached result, or retry after an abandoned run.
-		case <-ctx.Done():
-			ll.mu.Lock()
-			ll.waiters--
-			if ll.waiters == 0 && ll.done == done {
-				// Last interested caller is gone: stop the computation. The
-				// run observes the cancellation at its next checkpoint and
-				// resets the cell (unless it finished first, in which case
-				// the result is cached anyway).
-				cancel()
-			}
-			ll.mu.Unlock()
-			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: ctx.Err()}
-		}
-	}
+	return e.Current().LeastModelCtx(ctx, comp)
 }
 
 // Query evaluates a conjunctive query against the component's least model
-// and returns one binding per solution (see Model.Query).
+// in the current snapshot and returns one binding per solution (see
+// Model.Query).
 func (e *Engine) Query(comp string, q ast.Query) ([]Binding, error) {
-	return e.QueryCtx(context.Background(), comp, q)
+	return e.Current().Query(comp, q)
 }
 
 // QueryCtx is Query with cooperative cancellation of the underlying
@@ -297,18 +209,14 @@ func (e *Engine) Query(comp string, q ast.Query) ([]Binding, error) {
 // model is not interruptible (it is linear in the model and fast); the
 // fixpoint is the unbounded part.
 func (e *Engine) QueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
-	m, err := e.LeastModelCtx(ctx, comp)
-	if err != nil {
-		return nil, err
-	}
-	return m.Query(q), nil
+	return e.Current().QueryCtx(ctx, comp, q)
 }
 
 // AssumptionFreeModels enumerates the assumption-free models in the
-// component (Definition 7). On ErrBudget the models found before the
-// budget ran out are returned alongside the error.
+// component (Definition 7) as of the current snapshot. On ErrBudget the
+// models found before the budget ran out are returned alongside the error.
 func (e *Engine) AssumptionFreeModels(comp string, opts stable.Options) ([]*Model, error) {
-	return e.AssumptionFreeModelsCtx(context.Background(), comp, opts)
+	return e.Current().AssumptionFreeModels(comp, opts)
 }
 
 // AssumptionFreeModelsCtx is AssumptionFreeModels with cooperative
@@ -316,36 +224,21 @@ func (e *Engine) AssumptionFreeModels(comp string, opts stable.Options) ([]*Mode
 // DFS checkpoint and returns the (possibly empty, always non-nil) partial
 // model set alongside an interrupt.Error.
 func (e *Engine) AssumptionFreeModelsCtx(ctx context.Context, comp string, opts stable.Options) ([]*Model, error) {
-	v, err := e.View(comp)
-	if err != nil {
-		return nil, err
-	}
-	ms, enumErr := stable.AssumptionFreeModelsCtx(ctx, v, opts)
-	if enumErr != nil && !partialEnumErr(enumErr) {
-		return nil, enumErr
-	}
-	return wrapModels(v, ms), enumErr
+	return e.Current().AssumptionFreeModelsCtx(ctx, comp, opts)
 }
 
 // StableModels enumerates the stable models in the component — the maximal
-// assumption-free models (Definition 9). On ErrBudget the maximal models
-// of the truncated enumeration are returned alongside the error.
+// assumption-free models (Definition 9) — as of the current snapshot. On
+// ErrBudget the maximal models of the truncated enumeration are returned
+// alongside the error.
 func (e *Engine) StableModels(comp string, opts stable.Options) ([]*Model, error) {
-	return e.StableModelsCtx(context.Background(), comp, opts)
+	return e.Current().StableModels(comp, opts)
 }
 
 // StableModelsCtx is StableModels with cooperative cancellation and the
 // same partial-result contract as AssumptionFreeModelsCtx.
 func (e *Engine) StableModelsCtx(ctx context.Context, comp string, opts stable.Options) ([]*Model, error) {
-	v, err := e.View(comp)
-	if err != nil {
-		return nil, err
-	}
-	ms, enumErr := stable.StableModelsCtx(ctx, v, opts)
-	if enumErr != nil && !partialEnumErr(enumErr) {
-		return nil, enumErr
-	}
-	return wrapModels(v, ms), enumErr
+	return e.Current().StableModelsCtx(ctx, comp, opts)
 }
 
 // StableModelsParallel enumerates the stable models with a worker pool
@@ -354,22 +247,14 @@ func (e *Engine) StableModelsCtx(ctx context.Context, comp string, opts stable.O
 // enumeration are returned alongside the error, exactly as with the
 // sequential StableModels.
 func (e *Engine) StableModelsParallel(comp string, opts stable.ParallelOptions) ([]*Model, error) {
-	return e.StableModelsParallelCtx(context.Background(), comp, opts)
+	return e.Current().StableModelsParallel(comp, opts)
 }
 
 // StableModelsParallelCtx is StableModelsParallel with cooperative
 // cancellation: workers stop on the context's cancellation and the partial
 // model set collected so far is returned alongside an interrupt.Error.
 func (e *Engine) StableModelsParallelCtx(ctx context.Context, comp string, opts stable.ParallelOptions) ([]*Model, error) {
-	v, err := e.View(comp)
-	if err != nil {
-		return nil, err
-	}
-	ms, enumErr := stable.StableModelsParallelCtx(ctx, v, opts)
-	if enumErr != nil && !partialEnumErr(enumErr) {
-		return nil, enumErr
-	}
-	return wrapModels(v, ms), enumErr
+	return e.Current().StableModelsParallelCtx(ctx, comp, opts)
 }
 
 // partialEnumErr reports whether an enumeration error carries partial
@@ -388,17 +273,9 @@ func wrapModels(v *eval.View, ms []*interp.Interp) []*Model {
 
 // InterpFromLiterals builds a Model-shaped interpretation from AST
 // literals for use with CheckModel and CheckAssumptionFree. Every atom
-// must be in the (relevant) Herbrand base.
+// must be in the (relevant) Herbrand base of the current snapshot.
 func (e *Engine) InterpFromLiterals(comp string, lits []ast.Literal) (*Model, error) {
-	v, err := e.View(comp)
-	if err != nil {
-		return nil, err
-	}
-	in, err := interp.FromLiterals(e.gp.Tab, lits)
-	if err != nil {
-		return nil, err
-	}
-	return &Model{view: v, in: in}, nil
+	return e.Current().InterpFromLiterals(comp, lits)
 }
 
 // CheckModel reports whether m satisfies Definition 3 in m's component,

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ground"
+)
+
+// Config configures an Engine.
+//
+// The zero value is valid and means: default grounding options, worker
+// counts chosen per call (GOMAXPROCS), no enumeration budget override and
+// no tracing. Invalid configurations (negative counts, unknown grounding
+// mode) are rejected by NewEngine with a *ConfigError rather than silently
+// replaced by defaults.
+type Config struct {
+	// Ground selects grounding mode, depth bound and budgets. The zero
+	// value means ground.DefaultOptions().
+	Ground ground.Options
+
+	// Workers, when positive, is the default worker count for batch entry
+	// points (QueryBatch, LeastModelAll, ProveBatch) and parallel stable
+	// enumeration whenever the per-call options leave their Workers field
+	// zero. Zero keeps the per-call default (GOMAXPROCS).
+	Workers int
+
+	// EnumBudget, when positive, is the default leaf budget for stable and
+	// assumption-free model enumeration whenever the per-call
+	// stable.Options leave MaxLeaves zero. Zero keeps the enumerator's own
+	// default.
+	EnumBudget int
+
+	// Trace, when non-nil, receives one line per engine lifecycle event:
+	// grounding, snapshot updates (incremental or reground) and least-model
+	// computations. Writes are serialised by the engine; the writer itself
+	// need not be concurrency-safe.
+	Trace io.Writer
+}
+
+// Option is a functional engine option applied on top of a Config by
+// NewEngine. Options and an explicit Config compose: the Config is copied,
+// then each Option mutates the copy in order.
+type Option func(*Config)
+
+// WithWorkers sets Config.Workers.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithEnumBudget sets Config.EnumBudget.
+func WithEnumBudget(n int) Option { return func(c *Config) { c.EnumBudget = n } }
+
+// WithTrace sets Config.Trace.
+func WithTrace(w io.Writer) Option { return func(c *Config) { c.Trace = w } }
+
+// ConfigError reports an invalid Config field. It is returned (wrapped in
+// nothing) by NewEngine, so callers can errors.As for it and inspect which
+// field was rejected instead of parsing a message.
+type ConfigError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the configuration and returns a *ConfigError for the
+// first invalid field, nil otherwise.
+func (c *Config) Validate() error {
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Value: c.Workers, Reason: "must be >= 0 (0 = GOMAXPROCS)"}
+	}
+	if c.EnumBudget < 0 {
+		return &ConfigError{Field: "EnumBudget", Value: c.EnumBudget, Reason: "must be >= 0 (0 = enumerator default)"}
+	}
+	g := c.Ground
+	if g.Mode != ground.ModeSmart && g.Mode != ground.ModeFull {
+		return &ConfigError{Field: "Ground.Mode", Value: int(g.Mode), Reason: "unknown grounding mode"}
+	}
+	if g.MaxDepth < -1 {
+		return &ConfigError{Field: "Ground.MaxDepth", Value: g.MaxDepth, Reason: "must be >= -1 (-1 = deepest program term)"}
+	}
+	if g.MaxUniverse < 0 {
+		return &ConfigError{Field: "Ground.MaxUniverse", Value: g.MaxUniverse, Reason: "must be >= 0 (0 = default budget)"}
+	}
+	if g.MaxAtoms < 0 {
+		return &ConfigError{Field: "Ground.MaxAtoms", Value: g.MaxAtoms, Reason: "must be >= 0 (0 = default budget)"}
+	}
+	if g.MaxInstances < 0 {
+		return &ConfigError{Field: "Ground.MaxInstances", Value: g.MaxInstances, Reason: "must be >= 0 (0 = default budget)"}
+	}
+	return nil
+}
+
+// traceMu serialises Trace writes across all goroutines of one engine.
+type tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (t *tracer) printf(format string, args ...any) {
+	if t == nil || t.w == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, format+"\n", args...)
+}

@@ -16,43 +16,39 @@ import (
 // caller's context while queueing — and returns the shared memoising
 // prover plus the release function. The prover is non-reentrant, so
 // callers hold the slot across every Prover method call.
-func (e *Engine) prover(ctx context.Context, i int) (*proof.Prover, func(), error) {
-	st := e.comp(i)
+func (s *Snapshot) prover(ctx context.Context, i int) (*proof.Prover, func(), error) {
+	st := s.comp(i)
 	select {
 	case st.proverSem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, nil, &interrupt.Error{Stage: "core: prover queue", Cause: ctx.Err()}
 	}
 	if st.prover == nil {
-		st.prover = proof.New(e.viewAt(i), 0)
+		st.prover = proof.New(s.viewAt(i), 0)
 	}
 	return st.prover, func() { <-st.proverSem }, nil
 }
 
 // Prove answers a least-model membership query for one ground literal in
-// the component with the goal-directed proof procedure (no full model is
-// materialised). Literals over atoms outside the relevant Herbrand base
-// are unprovable.
-func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
-	return e.ProveCtx(context.Background(), comp, l)
+// the component as of this snapshot (see Engine.Prove).
+func (s *Snapshot) Prove(comp string, l ast.Literal) (bool, error) {
+	return s.ProveCtx(context.Background(), comp, l)
 }
 
-// ProveCtx is Prove with cooperative cancellation: both the wait for the
-// per-component prover slot and the goal recursion itself honour the
-// context (see proof.Prover.ProveCtx for the checkpoints).
-func (e *Engine) ProveCtx(ctx context.Context, comp string, l ast.Literal) (bool, error) {
-	i, err := e.resolve(comp)
+// ProveCtx is Prove with cooperative cancellation (see Engine.ProveCtx).
+func (s *Snapshot) ProveCtx(ctx context.Context, comp string, l ast.Literal) (bool, error) {
+	i, err := s.resolve(comp)
 	if err != nil {
 		return false, err
 	}
 	if !l.Atom.Ground() {
 		return false, fmt.Errorf("core: Prove needs a ground literal, got %s", l)
 	}
-	id, ok := e.gp.Tab.Lookup(l.Atom)
+	id, ok := s.gp.Tab.Lookup(l.Atom)
 	if !ok {
 		return false, nil
 	}
-	pr, release, err := e.prover(ctx, i)
+	pr, release, err := s.prover(ctx, i)
 	if err != nil {
 		return false, err
 	}
@@ -61,26 +57,25 @@ func (e *Engine) ProveCtx(ctx context.Context, comp string, l ast.Literal) (bool
 }
 
 // ProveExplain proves the literal goal-directedly and, on success, returns
-// the rendered derivation tree: the firing rule, its body subproofs, and
-// one blocking proof per competitor.
-func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) {
-	return e.ProveExplainCtx(context.Background(), comp, l)
+// the rendered derivation tree (see Engine.ProveExplain).
+func (s *Snapshot) ProveExplain(comp string, l ast.Literal) (string, bool, error) {
+	return s.ProveExplainCtx(context.Background(), comp, l)
 }
 
 // ProveExplainCtx is ProveExplain with cooperative cancellation.
-func (e *Engine) ProveExplainCtx(ctx context.Context, comp string, l ast.Literal) (string, bool, error) {
-	i, err := e.resolve(comp)
+func (s *Snapshot) ProveExplainCtx(ctx context.Context, comp string, l ast.Literal) (string, bool, error) {
+	i, err := s.resolve(comp)
 	if err != nil {
 		return "", false, err
 	}
 	if !l.Atom.Ground() {
 		return "", false, fmt.Errorf("core: ProveExplain needs a ground literal, got %s", l)
 	}
-	id, ok := e.gp.Tab.Lookup(l.Atom)
+	id, ok := s.gp.Tab.Lookup(l.Atom)
 	if !ok {
 		return "", false, nil
 	}
-	pr, release, err := e.prover(ctx, i)
+	pr, release, err := s.prover(ctx, i)
 	if err != nil {
 		return "", false, err
 	}
@@ -92,39 +87,36 @@ func (e *Engine) ProveExplainCtx(ctx context.Context, comp string, l ast.Literal
 	return tree.Render(pr), true, nil
 }
 
-// ProveQuery answers a conjunctive query goal-directedly: candidate
-// bindings come from matching each query literal against the relevant
-// Herbrand base, and every ground instance is checked with the prover, so
-// only the needed parts of the least model are computed. Builtins filter
-// as usual.
-func (e *Engine) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
-	return e.ProveQueryCtx(context.Background(), comp, q)
+// ProveQuery answers a conjunctive query goal-directedly as of this
+// snapshot (see Engine.ProveQuery).
+func (s *Snapshot) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
+	return s.ProveQueryCtx(context.Background(), comp, q)
 }
 
 // ProveQueryCtx is ProveQuery with cooperative cancellation: the per-goal
 // proofs poll the context, and an interruption abandons the remaining
 // candidates (no partial binding set is returned — a prefix of the answer
 // set has no meaningful semantics for a conjunctive query).
-func (e *Engine) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
-	i, err := e.resolve(comp)
+func (s *Snapshot) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
+	i, err := s.resolve(comp)
 	if err != nil {
 		return nil, err
 	}
-	pr, release, err := e.prover(ctx, i)
+	pr, release, err := s.prover(ctx, i)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	tab := e.gp.Tab
+	tab := s.gp.Tab
 	var out []Binding
 	seen := make(map[string]bool)
 	vars := q.Vars()
-	s := unify.NewSubst()
+	sub := unify.NewSubst()
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(q.Body) {
 			for _, b := range q.Builtins {
-				gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+				gb := ast.Builtin{Op: b.Op, L: substExpr(sub, b.L), R: substExpr(sub, b.R)}
 				holds, okB := ast.EvalBuiltin(gb)
 				if !okB || !holds {
 					return nil
@@ -133,7 +125,7 @@ func (e *Engine) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([
 			bind := make(Binding, len(vars))
 			sig := ""
 			for _, vv := range vars {
-				t := s.Apply(vv)
+				t := sub.Apply(vv)
 				bind[vv.Name] = t
 				sig += "\x00" + t.String()
 			}
@@ -145,21 +137,21 @@ func (e *Engine) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([
 		}
 		l := q.Body[i]
 		for _, id := range tab.OfPred(l.Atom.Key()) {
-			mark := s.Mark()
-			if unify.MatchAtoms(s, l.Atom, tab.Atom(id)) {
+			mark := sub.Mark()
+			if unify.MatchAtoms(sub, l.Atom, tab.Atom(id)) {
 				proved, err := pr.ProveCtx(ctx, interp.MkLit(id, l.Neg))
 				if err != nil {
-					s.Undo(mark)
+					sub.Undo(mark)
 					return err
 				}
 				if proved {
 					if err := rec(i + 1); err != nil {
-						s.Undo(mark)
+						sub.Undo(mark)
 						return err
 					}
 				}
 			}
-			s.Undo(mark)
+			sub.Undo(mark)
 		}
 		return nil
 	}
@@ -169,6 +161,67 @@ func (e *Engine) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([
 	return out, nil
 }
 
+// Reason enumerates the stable models of the component as of this snapshot
+// and returns its cautious and brave consequences.
+func (s *Snapshot) Reason(comp string, opts stable.Options) (*Consequences, error) {
+	return s.ReasonCtx(context.Background(), comp, opts)
+}
+
+// ReasonCtx is Reason with cooperative cancellation (see Engine.ReasonCtx
+// for why no partial Consequences value is ever returned).
+func (s *Snapshot) ReasonCtx(ctx context.Context, comp string, opts stable.Options) (*Consequences, error) {
+	v, err := s.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	r, err := stable.ReasonCtx(ctx, v, s.eng.fillStable(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Consequences{r: r, tab: s.gp.Tab}, nil
+}
+
+// Prove answers a least-model membership query for one ground literal in
+// the component with the goal-directed proof procedure (no full model is
+// materialised), as of the current snapshot. Literals over atoms outside
+// the relevant Herbrand base are unprovable.
+func (e *Engine) Prove(comp string, l ast.Literal) (bool, error) {
+	return e.Current().Prove(comp, l)
+}
+
+// ProveCtx is Prove with cooperative cancellation: both the wait for the
+// per-component prover slot and the goal recursion itself honour the
+// context (see proof.Prover.ProveCtx for the checkpoints).
+func (e *Engine) ProveCtx(ctx context.Context, comp string, l ast.Literal) (bool, error) {
+	return e.Current().ProveCtx(ctx, comp, l)
+}
+
+// ProveExplain proves the literal goal-directedly and, on success, returns
+// the rendered derivation tree: the firing rule, its body subproofs, and
+// one blocking proof per competitor.
+func (e *Engine) ProveExplain(comp string, l ast.Literal) (string, bool, error) {
+	return e.Current().ProveExplain(comp, l)
+}
+
+// ProveExplainCtx is ProveExplain with cooperative cancellation.
+func (e *Engine) ProveExplainCtx(ctx context.Context, comp string, l ast.Literal) (string, bool, error) {
+	return e.Current().ProveExplainCtx(ctx, comp, l)
+}
+
+// ProveQuery answers a conjunctive query goal-directedly: candidate
+// bindings come from matching each query literal against the relevant
+// Herbrand base, and every ground instance is checked with the prover, so
+// only the needed parts of the least model are computed. Builtins filter
+// as usual.
+func (e *Engine) ProveQuery(comp string, q ast.Query) ([]Binding, error) {
+	return e.Current().ProveQuery(comp, q)
+}
+
+// ProveQueryCtx is ProveQuery with cooperative cancellation.
+func (e *Engine) ProveQueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
+	return e.Current().ProveQueryCtx(ctx, comp, q)
+}
+
 // Consequences holds cautious (every stable model) and brave (some stable
 // model) inference results for one component.
 type Consequences struct {
@@ -176,10 +229,10 @@ type Consequences struct {
 	tab *interp.Table
 }
 
-// Reason enumerates the stable models of the component and returns its
-// cautious and brave consequences.
+// Reason enumerates the stable models of the component in the current
+// snapshot and returns its cautious and brave consequences.
 func (e *Engine) Reason(comp string, opts stable.Options) (*Consequences, error) {
-	return e.ReasonCtx(context.Background(), comp, opts)
+	return e.Current().Reason(comp, opts)
 }
 
 // ReasonCtx is Reason with cooperative cancellation. Interruption fails
@@ -187,15 +240,7 @@ func (e *Engine) Reason(comp string, opts stable.Options) (*Consequences, error)
 // family would be unsound (cautious could contain literals a missing
 // stable model refutes), so no partial Consequences value is returned.
 func (e *Engine) ReasonCtx(ctx context.Context, comp string, opts stable.Options) (*Consequences, error) {
-	v, err := e.View(comp)
-	if err != nil {
-		return nil, err
-	}
-	r, err := stable.ReasonCtx(ctx, v, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Consequences{r: r, tab: e.gp.Tab}, nil
+	return e.Current().ReasonCtx(ctx, comp, opts)
 }
 
 // NumModels returns the number of stable models inspected.

@@ -1,0 +1,608 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/interrupt"
+	"repro/internal/proof"
+	"repro/internal/stable"
+)
+
+// Snapshot is one immutable version of the engine's fact base. All query
+// entry points read from a snapshot; Engine's query methods are shorthands
+// that pin the current snapshot for one call. Updates (Engine.Update,
+// Engine.Retract) never modify an existing snapshot — they publish a new
+// one — so a goroutine holding a *Snapshot keeps reading exactly the
+// version it pinned, unaffected by concurrent writers.
+//
+// Snapshots are cheap: an incremental update shares the interned-term
+// storage, the append-only ground rule list, and — for every component
+// whose visible rules did not change — the parent's memoised views, least
+// models and provers. Only components that can see a touched component are
+// recomputed, lazily, on first use.
+type Snapshot struct {
+	eng     *Engine
+	version uint64
+	gp      *ground.Program
+
+	// rules pins this version's prefix of gp.Rules; later updates append to
+	// gp.Rules without invalidating the prefix. dead lists instance indexes
+	// (< len(rules)) retracted as of this version. Both are immutable.
+	rules []ground.Rule
+	dead  map[int32]struct{}
+
+	// factLive overlays per-(component, fact) liveness on top of the
+	// original source program's fact rules: true = asserted, false =
+	// retracted, absent = as in the source. log is the full update history
+	// that produced this version, replayed to rebuild from source when an
+	// update cannot be applied incrementally. Both are immutable.
+	factLive map[factKey]bool
+	log      []factEvent
+
+	mu    sync.Mutex
+	comps map[int]*compState
+}
+
+// factKey identifies a ground fact rule by component position and rendered
+// literal (the sign is part of the rendering).
+type factKey struct {
+	comp int
+	lit  string
+}
+
+// factEvent is one entry of a snapshot's update history.
+type factEvent struct {
+	comp    int
+	lit     ast.Literal
+	retract bool
+}
+
+// compState holds the lazily built per-component artifacts. The view is
+// construct-once/read-many under a sync.Once; the least model uses the
+// channel-based singleflight of lazyLeast so waiters can honour their own
+// contexts; proverSem (a 1-slot semaphore acquired with context) serialises
+// the memoising, non-reentrant goal-directed prover. Snapshots whose
+// visible rules agree for a component share one compState, so an update
+// carries the unaffected memos over to the new version.
+type compState struct {
+	viewOnce sync.Once
+	view     *eval.View
+
+	least lazyLeast
+
+	proverSem chan struct{}
+	prover    *proof.Prover
+}
+
+// lazyLeast is a context-aware singleflight cell for one component's least
+// model. States: idle (done == nil, !ready), running (done != nil), ready
+// (ready == true; m/err cached forever). A run executes on a private
+// context detached from any caller; each waiter selects on its own context
+// and the run's done channel. The last waiter to abandon a run cancels it;
+// an interrupted run resets the cell to idle instead of caching the
+// interruption, so the next caller simply retries.
+type lazyLeast struct {
+	mu      sync.Mutex
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	ready   bool
+	m       *Model
+	err     error
+}
+
+// Version returns the snapshot's version number: 0 for the engine's
+// initial grounding, incremented by every successful update.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Engine returns the engine this snapshot belongs to.
+func (s *Snapshot) Engine() *Engine { return s.eng }
+
+// Source returns the original source program. Updates do not rewrite it;
+// they are recorded against it (see Engine.Update).
+func (s *Snapshot) Source() *ast.OrderedProgram { return s.eng.src }
+
+// Grounded returns the underlying ground program. Treat it as read-only.
+func (s *Snapshot) Grounded() *ground.Program { return s.gp }
+
+// NumGroundRules returns the number of live ground rule instances in this
+// version (retracted instances excluded).
+func (s *Snapshot) NumGroundRules() int { return len(s.rules) - len(s.dead) }
+
+// NumAtoms returns the size of the (relevant) Herbrand base.
+func (s *Snapshot) NumAtoms() int { return s.gp.Tab.Len() }
+
+// comp returns the shared per-component state, creating it on first use.
+func (s *Snapshot) comp(i int) *compState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.comps[i]
+	if !ok {
+		st = &compState{proverSem: make(chan struct{}, 1)}
+		s.comps[i] = st
+	}
+	return st
+}
+
+// resolve maps a component name ("" = DefaultComponent) to its position.
+func (s *Snapshot) resolve(comp string) (int, error) {
+	if comp == "" {
+		var err error
+		comp, err = s.eng.DefaultComponent()
+		if err != nil {
+			return -1, err
+		}
+	}
+	i, ok := s.gp.Src.ComponentIndex(comp)
+	if !ok {
+		return -1, fmt.Errorf("core: unknown component %q", comp)
+	}
+	return i, nil
+}
+
+// View returns the cached evaluation view for a component; comp == ""
+// selects DefaultComponent. The view is built exactly once per component
+// and version even under concurrent callers and is immutable afterwards.
+func (s *Snapshot) View(comp string) (*eval.View, error) {
+	i, err := s.resolve(comp)
+	if err != nil {
+		return nil, err
+	}
+	return s.viewAt(i), nil
+}
+
+func (s *Snapshot) viewAt(i int) *eval.View {
+	st := s.comp(i)
+	st.viewOnce.Do(func() { st.view = eval.NewViewOf(s.gp, i, s.rules, s.dead) })
+	return st.view
+}
+
+// LeastModel computes the least model of the program in the component as
+// of this snapshot (see Engine.LeastModel).
+func (s *Snapshot) LeastModel(comp string) (*Model, error) {
+	return s.LeastModelCtx(context.Background(), comp)
+}
+
+// LeastModelCtx is LeastModel with cooperative cancellation (see
+// Engine.LeastModelCtx for the exact singleflight/cancellation contract).
+func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, error) {
+	i, err := s.resolve(comp)
+	if err != nil {
+		return nil, err
+	}
+	st := s.comp(i)
+	ll := &st.least
+	for {
+		ll.mu.Lock()
+		if ll.ready {
+			m, err := ll.m, ll.err
+			ll.mu.Unlock()
+			return m, err
+		}
+		if err := ctx.Err(); err != nil {
+			ll.mu.Unlock()
+			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: err}
+		}
+		if ll.done == nil {
+			// Start the computation on a context detached from any one
+			// caller: its lifetime is "some waiter still wants this".
+			runCtx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			ll.done, ll.cancel = done, cancel
+			go func() {
+				v := s.viewAt(i)
+				in, err := v.LeastModelCtx(runCtx)
+				ll.mu.Lock()
+				if err != nil && errors.Is(err, interrupt.ErrInterrupted) {
+					// Abandoned run: reset to idle rather than caching the
+					// interruption — the result is a property of the
+					// program, not of the callers that gave up on it.
+					ll.done, ll.cancel = nil, nil
+				} else {
+					ll.ready = true
+					if err != nil {
+						ll.err = err
+					} else {
+						ll.m = &Model{view: v, in: in}
+					}
+					ll.done, ll.cancel = nil, nil
+					s.eng.trace.printf("least: comp=%s version=%d", s.gp.Src.Components[i].Name, s.version)
+				}
+				ll.mu.Unlock()
+				cancel()
+				close(done)
+			}()
+		}
+		done := ll.done
+		cancel := ll.cancel
+		ll.waiters++
+		ll.mu.Unlock()
+
+		select {
+		case <-done:
+			ll.mu.Lock()
+			ll.waiters--
+			ll.mu.Unlock()
+			// Loop: read the cached result, or retry after an abandoned run.
+		case <-ctx.Done():
+			ll.mu.Lock()
+			ll.waiters--
+			if ll.waiters == 0 && ll.done == done {
+				// Last interested caller is gone: stop the computation. The
+				// run observes the cancellation at its next checkpoint and
+				// resets the cell (unless it finished first, in which case
+				// the result is cached anyway).
+				cancel()
+			}
+			ll.mu.Unlock()
+			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: ctx.Err()}
+		}
+	}
+}
+
+// Query evaluates a conjunctive query against the component's least model
+// as of this snapshot (see Model.Query).
+func (s *Snapshot) Query(comp string, q ast.Query) ([]Binding, error) {
+	return s.QueryCtx(context.Background(), comp, q)
+}
+
+// QueryCtx is Query with cooperative cancellation of the underlying
+// least-model computation.
+func (s *Snapshot) QueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
+	m, err := s.LeastModelCtx(ctx, comp)
+	if err != nil {
+		return nil, err
+	}
+	return m.Query(q), nil
+}
+
+// AssumptionFreeModels enumerates the assumption-free models in the
+// component as of this snapshot (see Engine.AssumptionFreeModels).
+func (s *Snapshot) AssumptionFreeModels(comp string, opts stable.Options) ([]*Model, error) {
+	return s.AssumptionFreeModelsCtx(context.Background(), comp, opts)
+}
+
+// AssumptionFreeModelsCtx is AssumptionFreeModels with cooperative
+// cancellation and the partial-result contract of
+// Engine.AssumptionFreeModelsCtx.
+func (s *Snapshot) AssumptionFreeModelsCtx(ctx context.Context, comp string, opts stable.Options) ([]*Model, error) {
+	v, err := s.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	ms, enumErr := stable.AssumptionFreeModelsCtx(ctx, v, s.eng.fillStable(opts))
+	if enumErr != nil && !partialEnumErr(enumErr) {
+		return nil, enumErr
+	}
+	return wrapModels(v, ms), enumErr
+}
+
+// StableModels enumerates the stable models in the component as of this
+// snapshot (see Engine.StableModels).
+func (s *Snapshot) StableModels(comp string, opts stable.Options) ([]*Model, error) {
+	return s.StableModelsCtx(context.Background(), comp, opts)
+}
+
+// StableModelsCtx is StableModels with cooperative cancellation and the
+// same partial-result contract as AssumptionFreeModelsCtx.
+func (s *Snapshot) StableModelsCtx(ctx context.Context, comp string, opts stable.Options) ([]*Model, error) {
+	v, err := s.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	ms, enumErr := stable.StableModelsCtx(ctx, v, s.eng.fillStable(opts))
+	if enumErr != nil && !partialEnumErr(enumErr) {
+		return nil, enumErr
+	}
+	return wrapModels(v, ms), enumErr
+}
+
+// StableModelsParallel enumerates the stable models with a worker pool as
+// of this snapshot (see Engine.StableModelsParallel).
+func (s *Snapshot) StableModelsParallel(comp string, opts stable.ParallelOptions) ([]*Model, error) {
+	return s.StableModelsParallelCtx(context.Background(), comp, opts)
+}
+
+// StableModelsParallelCtx is StableModelsParallel with cooperative
+// cancellation and the partial-result contract of
+// Engine.StableModelsParallelCtx.
+func (s *Snapshot) StableModelsParallelCtx(ctx context.Context, comp string, opts stable.ParallelOptions) ([]*Model, error) {
+	v, err := s.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	ms, enumErr := stable.StableModelsParallelCtx(ctx, v, s.eng.fillParallel(opts))
+	if enumErr != nil && !partialEnumErr(enumErr) {
+		return nil, enumErr
+	}
+	return wrapModels(v, ms), enumErr
+}
+
+// InterpFromLiterals builds a Model-shaped interpretation from AST
+// literals for use with CheckModel and CheckAssumptionFree. Every atom
+// must be in the (relevant) Herbrand base.
+func (s *Snapshot) InterpFromLiterals(comp string, lits []ast.Literal) (*Model, error) {
+	v, err := s.View(comp)
+	if err != nil {
+		return nil, err
+	}
+	in, err := interp.FromLiterals(s.gp.Tab, lits)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{view: v, in: in}, nil
+}
+
+// liveFact reports whether the (component, fact) pair is in effect at this
+// version: the overlay decides when it has an entry, otherwise the original
+// source program does.
+func (s *Snapshot) liveFact(k factKey, base map[factKey]bool) bool {
+	if v, ok := s.factLive[k]; ok {
+		return v
+	}
+	return base[k]
+}
+
+// Update publishes a new snapshot with the given ground facts asserted in
+// the component ("" = DefaultComponent) and returns it. Facts already in
+// effect are no-ops; if every fact is, the current snapshot is returned
+// unchanged (same version). The engine's current snapshot advances to the
+// result; snapshots held by concurrent readers are unaffected.
+//
+// When the grounder's incremental state admits it, the update is applied
+// as a delta — only components that can see the touched component lose
+// their memoised views and least models, everything else is carried over —
+// and otherwise the engine transparently regrounds the effective program
+// (source plus update history) from scratch. Either way the returned
+// snapshot answers queries exactly as an engine freshly built from the
+// updated source would.
+//
+// Updates are serialised with each other but never block readers.
+func (e *Engine) Update(ctx context.Context, comp string, facts []ast.Literal) (*Snapshot, error) {
+	return e.update(ctx, comp, facts, false)
+}
+
+// Retract publishes a new snapshot with the given ground facts removed
+// from the component ("" = DefaultComponent) and returns it. Facts not in
+// effect are no-ops. The contract is otherwise that of Update; only fact
+// rules can be retracted, and only the exact ground fact is removed — rule
+// instances that derive the same literal are untouched, exactly as if the
+// fact rule were deleted from the source and the engine rebuilt.
+func (e *Engine) Retract(ctx context.Context, comp string, facts []ast.Literal) (*Snapshot, error) {
+	return e.update(ctx, comp, facts, true)
+}
+
+func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, retract bool) (*Snapshot, error) {
+	verb := "assert"
+	if retract {
+		verb = "retract"
+	}
+	for _, f := range facts {
+		if !f.Atom.Ground() {
+			return nil, fmt.Errorf("core: %s needs ground facts, got %s", verb, f)
+		}
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	parent := e.Current()
+	ci, err := parent.resolve(comp)
+	if err != nil {
+		return nil, err
+	}
+	if e.baseFacts == nil {
+		e.buildBaseFacts()
+	}
+	// Drop no-ops: asserting a fact already in effect or retracting one that
+	// is not changes nothing, and the ground layer relies on the caller
+	// filtering them (re-asserting a live fact must not double-count its
+	// constants).
+	ops := make([]ast.Literal, 0, len(facts))
+	dedup := make(map[factKey]bool, len(facts))
+	for _, f := range facts {
+		k := factKey{comp: ci, lit: f.String()}
+		if dedup[k] {
+			continue
+		}
+		dedup[k] = true
+		if parent.liveFact(k, e.baseFacts) != retract {
+			continue
+		}
+		ops = append(ops, f)
+	}
+	if len(ops) == 0 {
+		return parent, nil
+	}
+
+	newLog := make([]factEvent, 0, len(parent.log)+len(ops))
+	newLog = append(newLog, parent.log...)
+	for _, f := range ops {
+		newLog = append(newLog, factEvent{comp: ci, lit: f, retract: retract})
+	}
+	overlay := make(map[factKey]bool, len(parent.factLive)+len(ops))
+	for k, v := range parent.factLive {
+		overlay[k] = v
+	}
+	for _, f := range ops {
+		overlay[factKey{comp: ci, lit: f.String()}] = !retract
+	}
+
+	if parent.gp.Incremental() {
+		child, err := e.applyIncremental(ctx, parent, ci, ops, retract, overlay, newLog)
+		if err == nil {
+			e.current.Store(child)
+			e.trace.printf("update: v%d -> v%d comp=%s %s=%d mode=incremental", parent.version, child.version, parent.gp.Src.Components[ci].Name, verb, len(ops))
+			return child, nil
+		}
+		if !errors.Is(err, ground.ErrNeedsReground) {
+			return nil, err
+		}
+	}
+	child, err := e.reground(ctx, parent, newLog, overlay)
+	if err != nil {
+		return nil, err
+	}
+	e.current.Store(child)
+	e.trace.printf("update: v%d -> v%d comp=%s %s=%d mode=reground", parent.version, child.version, parent.gp.Src.Components[ci].Name, verb, len(ops))
+	return child, nil
+}
+
+// applyIncremental applies the update through the grounder's in-place
+// delta machinery and builds the child snapshot, sharing the parent's
+// per-component state for every component that cannot see a touched one.
+func (e *Engine) applyIncremental(ctx context.Context, parent *Snapshot, ci int, ops []ast.Literal, retract bool, overlay map[factKey]bool, newLog []factEvent) (*Snapshot, error) {
+	touched := make(map[int]bool)
+	dead := make(map[int32]struct{}, len(parent.dead)+len(ops))
+	for i := range parent.dead {
+		dead[i] = struct{}{}
+	}
+	if retract {
+		gone, err := parent.gp.RetractFacts(ci, ops)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range gone {
+			dead[idx] = struct{}{}
+			touched[int(parent.gp.Rules[idx].Comp)] = true
+		}
+	} else {
+		d, err := parent.gp.AssertFacts(ctx, ci, ops)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range parent.gp.Rules[d.OldLen:d.NewLen] {
+			touched[int(r.Comp)] = true
+		}
+		for _, idx := range d.Existing {
+			if _, wasDead := dead[idx]; wasDead {
+				// Resurrection: the instance exists from an earlier version
+				// and this snapshot brings it back to life.
+				delete(dead, idx)
+				touched[int(parent.gp.Rules[idx].Comp)] = true
+			}
+		}
+	}
+	child := &Snapshot{
+		eng:      e,
+		version:  parent.version + 1,
+		gp:       parent.gp,
+		rules:    parent.gp.Rules,
+		dead:     dead,
+		factLive: overlay,
+		log:      newLog,
+		comps:    make(map[int]*compState),
+	}
+	// A component's visible rules changed only if it can see a touched
+	// component; everything else shares the parent's state pointer, so
+	// views, least models and provers memoised on either version serve
+	// both.
+	for i := range parent.gp.Src.Components {
+		affected := false
+		for _, j := range parent.gp.Src.Above(i) {
+			if touched[j] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			child.comps[i] = parent.comp(i)
+		}
+	}
+	return child, nil
+}
+
+// reground rebuilds the ground program from the effective source (original
+// program plus replayed update history) and wraps it in a fresh snapshot
+// with no carried-over state.
+func (e *Engine) reground(ctx context.Context, parent *Snapshot, newLog []factEvent, overlay map[factKey]bool) (*Snapshot, error) {
+	eff, err := effectiveProgram(e.src, newLog)
+	if err != nil {
+		return nil, err
+	}
+	gp, err := ground.GroundCtx(ctx, eff, e.groundOpts())
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		eng:      e,
+		version:  parent.version + 1,
+		gp:       gp,
+		rules:    gp.Rules,
+		factLive: overlay,
+		log:      newLog,
+		comps:    make(map[int]*compState),
+	}, nil
+}
+
+// buildBaseFacts indexes the ground fact rules of the original source
+// program; liveFact consults it beneath the per-snapshot overlay. Called
+// lazily under writeMu.
+func (e *Engine) buildBaseFacts() {
+	e.baseFacts = make(map[factKey]bool)
+	for ci, c := range e.src.Components {
+		for _, r := range c.Rules {
+			if r.IsFact() && r.Head.Atom.Ground() {
+				e.baseFacts[factKey{comp: ci, lit: r.Head.String()}] = true
+			}
+		}
+	}
+}
+
+// effectiveProgram clones the source program and replays the update
+// history: an assert appends the fact rule unless a ground-equal one is
+// present, a retract removes every ground-equal fact rule. The result is
+// the program a caller maintaining the source by hand would have built, so
+// regrounding it yields exactly the semantics the snapshot must expose.
+func effectiveProgram(src *ast.OrderedProgram, log []factEvent) (*ast.OrderedProgram, error) {
+	comps := make([]*ast.Component, len(src.Components))
+	for i, c := range src.Components {
+		comps[i] = &ast.Component{Name: c.Name, Rules: append([]*ast.Rule(nil), c.Rules...)}
+	}
+	equalFact := func(r *ast.Rule, l ast.Literal) bool {
+		return r.IsFact() && r.Head.Neg == l.Neg && r.Head.Atom.Ground() && r.Head.Atom.Equal(l.Atom)
+	}
+	for _, ev := range log {
+		c := comps[ev.comp]
+		if ev.retract {
+			kept := c.Rules[:0]
+			for _, r := range c.Rules {
+				if !equalFact(r, ev.lit) {
+					kept = append(kept, r)
+				}
+			}
+			c.Rules = kept
+			continue
+		}
+		present := false
+		for _, r := range c.Rules {
+			if equalFact(r, ev.lit) {
+				present = true
+				break
+			}
+		}
+		if !present {
+			c.Rules = append(c.Rules, ast.Fact(ev.lit))
+		}
+	}
+	p := ast.NewOrderedProgram()
+	for _, c := range comps {
+		if err := p.AddComponent(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, ed := range src.Edges {
+		if err := p.AddEdge(ed.Child, ed.Parent); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -57,8 +57,20 @@ type View struct {
 	threatened [][]int32
 }
 
-// NewView builds the view of g from the component at position comp.
+// NewView builds the view of g from the component at position comp, over
+// every rule instance of g.
 func NewView(g *ground.Program, comp int) *View {
+	return NewViewOf(g, comp, g.Rules, nil)
+}
+
+// NewViewOf builds the view of g from the component at position comp over
+// an explicit rule slice — typically a pinned prefix of g.Rules captured by
+// a versioned snapshot — excluding the instance indexes in dead (retracted
+// facts). rules must alias a prefix of g.Rules so indexes agree with the
+// dead set; the caller guarantees both stay immutable for the life of the
+// view, which is what makes a built view safe for unsynchronised sharing
+// even while later snapshot updates append further instances to g.Rules.
+func NewViewOf(g *ground.Program, comp int, rules []ground.Rule, dead map[int32]struct{}) *View {
 	if comp < 0 || comp >= g.NumComponents() {
 		panic(fmt.Sprintf("eval: component index %d out of range", comp))
 	}
@@ -72,9 +84,12 @@ func NewView(g *ground.Program, comp int) *View {
 	for _, j := range g.Src.Above(comp) {
 		visible[j] = true
 	}
-	for i := range g.Rules {
-		r := &g.Rules[i]
+	for i := range rules {
+		r := &rules[i]
 		if !visible[int(r.Comp)] {
+			continue
+		}
+		if _, gone := dead[int32(i)]; gone {
 			continue
 		}
 		li := int32(len(v.heads))

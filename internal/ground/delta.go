@@ -1,0 +1,474 @@
+package ground
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/storage"
+	"repro/internal/unify"
+)
+
+// ErrNeedsReground reports that an incremental update cannot preserve the
+// smart-grounding invariants in place and the caller must reground from
+// source instead. It is a normal fallback signal, not a failure: negative
+// fact assertions, retractions of facts the EDB/CWA simplification
+// depended on, universe growth under function symbols, and updates against
+// full-mode or poisoned ground programs all take this path.
+var ErrNeedsReground = errors.New("ground: update requires regrounding")
+
+// Delta describes the effect of one successful in-place update on the
+// ground program's append-only rule list.
+type Delta struct {
+	// OldLen and NewLen delimit the instances this update appended:
+	// Rules[OldLen:NewLen] are new. NewLen == len(Rules) afterwards.
+	OldLen, NewLen int
+	// Existing lists instance indexes < OldLen that this update re-asserted
+	// (facts that were present before, possibly retracted by the caller's
+	// snapshot and now resurrected). The caller owns liveness bookkeeping,
+	// so it decides whether each one changes anything.
+	Existing []int32
+}
+
+// Incremental reports whether the program retains usable smart-grounding
+// state for in-place fact maintenance.
+func (gp *Program) Incremental() bool { return gp.inc != nil && !gp.inc.poisoned }
+
+// AssertFacts adds ground positive facts to the component at position comp,
+// extending the possible-atom store, the rule instances and the competitor
+// closure in place by a delta-driven semi-naive pass. On success Rules has
+// grown (append-only) and the returned Delta says by how much.
+//
+// It returns ErrNeedsReground — with the program unchanged — whenever the
+// update cannot be expressed as a sound extension: negative facts (they
+// shrink derivability for NAF-free possible atoms is no longer an
+// over-approximation argument but a competitor one), compound (functor)
+// arguments, or fresh constants when the universe was functor-closed or
+// used the no-constant fallback (both make the correct universe differ
+// from "old universe plus the new constants").
+//
+// Concurrency: AssertFacts mutates shared grounder state and must be
+// serialised with every other update to the same Program (the engine's
+// write lock). Readers holding prefix snapshots of Rules are never
+// invalidated.
+func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Literal) (*Delta, error) {
+	g := gp.inc
+	if g == nil || g.poisoned {
+		return nil, ErrNeedsReground
+	}
+	if comp < 0 || comp >= len(gp.Src.Components) {
+		return nil, fmt.Errorf("ground: component index %d out of range", comp)
+	}
+	// Validate before touching anything, so ErrNeedsReground (and invalid
+	// input) always leaves the program unchanged.
+	tt := g.tab.TermTable()
+	var newConsts []ast.Term
+	newSeen := make(map[ast.Term]bool)
+	for _, f := range facts {
+		if !f.Atom.Ground() {
+			return nil, fmt.Errorf("ground: assert of non-ground fact %s", f)
+		}
+		if f.Neg {
+			return nil, ErrNeedsReground
+		}
+		for _, t := range f.Atom.Args {
+			if _, isCompound := t.(ast.Compound); isCompound {
+				return nil, ErrNeedsReground
+			}
+			if id, ok := tt.Lookup(t); ok && g.inUniverse[id] {
+				continue
+			}
+			if !newSeen[t] {
+				newSeen[t] = true
+				newConsts = append(newConsts, t)
+			}
+		}
+	}
+	if len(newConsts) > 0 {
+		if g.hasFunctors || g.uniFallback {
+			// A fresh constant changes the functor closure, or replaces the
+			// synthetic u0 fallback constant: old universe + constant is not
+			// the universe a rebuild would compute.
+			return nil, ErrNeedsReground
+		}
+		if len(g.uni)+len(newConsts) > g.opts.MaxUniverse {
+			return nil, &ErrBudget{"universe", g.opts.MaxUniverse}
+		}
+	}
+
+	// Point of no return: from here on an error leaves partial appends in
+	// seen/rules, so the incremental state is poisoned and the caller must
+	// reground. (The published Program header still describes the pre-update
+	// prefix, so existing snapshots stay valid either way.)
+	g.ctx = ctx
+	defer func() { g.ctx = nil }()
+	fail := func(err error) (*Delta, error) {
+		g.poisoned = true
+		return nil, err
+	}
+
+	// marks currently hold the pre-update relation sizes (recordMarks ran at
+	// the end of the previous pass); keep a copy for the competitor delta.
+	preMarks := make(map[ast.PredKey]int, len(g.marks))
+	for k, n := range g.marks {
+		preMarks[k] = n
+	}
+
+	if len(newConsts) > 0 {
+		domRel := g.st.Rel(domKey)
+		for _, c := range newConsts {
+			g.uni = append(g.uni, c)
+			g.inUniverse[tt.Intern(c)] = true
+			domRel.Insert([]ast.Term{c})
+		}
+	}
+
+	d := &Delta{OldLen: len(g.rules)}
+	var freshEDB []ast.Atom // genuinely new facts on EDB/CWA-shaped predicates
+	done := make(map[string]bool, len(facts))
+	for _, f := range facts {
+		head := interp.MkLit(g.tab.Intern(f.Atom), false)
+		g.keyBuf = appendInt32(g.keyBuf[:0], int32(comp))
+		g.keyBuf = appendInt32(g.keyBuf, int32(head))
+		key := string(g.keyBuf)
+		if done[key] {
+			continue
+		}
+		done[key] = true
+		atom := g.tab.Atom(head.Atom()) // canonical copy, detached from caller
+		r := ast.Fact(ast.Literal{Atom: atom})
+		// The fact re-enters the effective program either way; its constants
+		// count again towards the rebuild universe.
+		g.addConstRefs(r, 1)
+		if idx, dup := g.seen[key]; dup {
+			// Already instantiated at some earlier version: resurrection (or
+			// no-op) is the caller's liveness decision. The possible-atom
+			// store, targets and competitors already account for it; the
+			// extra rule returns so competitor passes see the fact source
+			// again.
+			d.Existing = append(d.Existing, idx)
+			g.extra[comp] = append(g.extra[comp], r)
+			continue
+		}
+		g.extra[comp] = append(g.extra[comp], r)
+		if err := g.instantiate(comp, r, unify.NewSubst()); err != nil {
+			return fail(err)
+		}
+		g.st.Rel(encKey(atom.Key(), false)).Insert(atom.Args)
+		if fk, ok := g.factKey(atom, true); ok {
+			g.factComps[fk] = append(g.factComps[fk], comp)
+		}
+		if g.edbShape(atom.Key()) != nil {
+			freshEDB = append(freshEDB, atom)
+		}
+	}
+
+	if err := g.deltaPass(); err != nil {
+		return fail(err)
+	}
+
+	// Competitor maintenance. Targets that are new or own a new component
+	// rerun their full (idempotent) competitor instantiation. When the
+	// universe grew, every free-variable competitor enumeration may have new
+	// bindings, so everything reruns; otherwise only EDB-joined competitor
+	// bodies can produce new instances for pre-existing targets, and those
+	// are covered delta-wise from the genuinely new facts.
+	grown := g.registerTargets(d.OldLen)
+	if len(newConsts) > 0 {
+		for _, tg := range g.targets {
+			if err := g.check("ground: competitor pass"); err != nil {
+				return fail(err)
+			}
+			if err := g.competitorsFor(tg); err != nil {
+				return fail(err)
+			}
+		}
+	} else {
+		for _, tg := range grown {
+			if err := g.check("ground: competitor pass"); err != nil {
+				return fail(err)
+			}
+			if err := g.competitorsFor(tg); err != nil {
+				return fail(err)
+			}
+		}
+		if err := g.deltaCompetitors(freshEDB, preMarks); err != nil {
+			return fail(err)
+		}
+	}
+	// Competitor-emitted instances are deliberately NOT registered as
+	// targets of their own: the base grounding doesn't close that loop
+	// either (a competitor instance not found by the fireable pass has an
+	// unsatisfiable body, so rules that would compete against it can never
+	// change any model), and an incremental update must produce exactly the
+	// instance set a rebuild would.
+	g.recordMarks()
+	gp.Rules = g.rules
+	gp.Universe = g.uni
+	d.NewLen = len(g.rules)
+	return d, nil
+}
+
+// RetractFacts removes ground facts previously asserted in (or parsed
+// into) the component at position comp. The ground program itself only
+// forgets the fact as a future competitor source; the instances stay in
+// Rules (append-only) and the returned indexes tell the caller which
+// instances its snapshot must stop treating as live. Facts that were never
+// present are silently skipped (their absence is already the desired
+// state).
+//
+// Retraction of a positive fact on a predicate the EDB/CWA competitor
+// simplification applied to returns ErrNeedsReground: grounding dropped
+// competitor instances it proved blocked by that very fact, so removing it
+// could resurrect instances that were never materialised.
+func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) {
+	g := gp.inc
+	if g == nil || g.poisoned {
+		return nil, ErrNeedsReground
+	}
+	if comp < 0 || comp >= len(gp.Src.Components) {
+		return nil, fmt.Errorf("ground: component index %d out of range", comp)
+	}
+	// Validate and collect first, mutate only once nothing can fail: a
+	// fallback must leave the program exactly as it was.
+	type hit struct {
+		idx int32
+		f   ast.Literal
+		r   *ast.Rule
+	}
+	var hits []hit
+	dec := make(map[string]int)
+	done := make(map[string]bool, len(facts))
+	scratch := unify.NewSubst()
+	for _, f := range facts {
+		if !f.Atom.Ground() {
+			return nil, fmt.Errorf("ground: retract of non-ground fact %s", f)
+		}
+		if !f.Neg && g.edbShape(f.Atom.Key()) != nil {
+			// Grounding dropped competitor instances it proved blocked by
+			// this very fact; removing it could resurrect instances that
+			// were never materialised.
+			return nil, ErrNeedsReground
+		}
+		id, ok := g.tab.Lookup(f.Atom)
+		if !ok {
+			continue // atom never interned: the fact has no instance
+		}
+		head := interp.MkLit(id, f.Neg)
+		g.keyBuf = appendInt32(g.keyBuf[:0], int32(comp))
+		g.keyBuf = appendInt32(g.keyBuf, int32(head))
+		key := string(g.keyBuf)
+		if done[key] {
+			continue
+		}
+		done[key] = true
+		idx, present := g.seen[key]
+		if !present {
+			continue
+		}
+		// The bodyless instance about to be dead-marked may be pinned by a
+		// source rule a rebuild keeps: a universal fact (p(X).) or a
+		// builtin-only rule (p(c) :- c < d.) with a matching head would
+		// regenerate it, so dead-marking would diverge from the rebuild. Only
+		// the ground-equal true fact — which the rebuild removes too — is
+		// safe to take in place.
+		for _, r := range gp.Src.Components[comp].Rules {
+			if len(r.Body) != 0 || r.Head.Neg != f.Neg {
+				continue
+			}
+			if r.IsFact() && r.Head.Atom.Ground() && r.Head.Atom.Equal(f.Atom) {
+				continue
+			}
+			mark := scratch.Mark()
+			matched := unify.MatchAtoms(scratch, r.Head.Atom, f.Atom)
+			scratch.Undo(mark)
+			if matched {
+				return nil, ErrNeedsReground
+			}
+		}
+		r := ast.Fact(ast.Literal{Neg: f.Neg, Atom: g.tab.Atom(id)})
+		hits = append(hits, hit{idx: idx, f: f, r: r})
+		for _, t := range r.Head.Atom.Args {
+			switch t.(type) {
+			case ast.Sym, ast.Int:
+				dec[t.String()]++
+			}
+		}
+	}
+	for k, n := range dec {
+		if g.constRefs[k]-n <= 0 {
+			// Last occurrence of a constant: a rebuild's Herbrand universe
+			// would shrink, and with it the $dom enumerations behind both
+			// fireable and competitor instances.
+			return nil, ErrNeedsReground
+		}
+	}
+	gone := make([]int32, 0, len(hits))
+	for _, h := range hits {
+		gone = append(gone, h.idx)
+		g.addConstRefs(h.r, -1)
+		// Forget the fact as an asserted extra rule so future competitor
+		// passes no longer see it as a rule source. (Instances it already
+		// caused stay: a competitor instance with an underivable or absent
+		// premise is inert, and the seen index keeps resurrection cheap.)
+		id, _ := g.tab.Lookup(h.f.Atom)
+		ex := g.extra[comp]
+		for i, r := range ex {
+			if r.Head.Neg == h.f.Neg {
+				if hid, ok := g.tab.Lookup(r.Head.Atom); ok && hid == id {
+					g.extra[comp] = append(ex[:i], ex[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return gone, nil
+}
+
+// deltaCompetitors re-instantiates, delta-restricted, the competitor rules
+// whose EDB-joined body literals gained tuples from genuinely new facts.
+// Pre-existing targets (the grown ones already reran in full) can gain
+// competitor instances only this way: non-EDB positive body literals and
+// free variables were enumerated exhaustively over the (unchanged)
+// universe when the target first appeared. One join runs per occurrence of
+// the fact's predicate in each rule body, with that occurrence pinned to
+// the delta — the standard semi-naive product cover; overlaps dedup.
+func (g *grounder) deltaCompetitors(freshEDB []ast.Atom, preMarks map[ast.PredKey]int) error {
+	if len(freshEDB) == 0 {
+		return nil
+	}
+	donePred := make(map[ast.PredKey]bool)
+	scratch := unify.NewSubst()
+	for _, fact := range freshEDB {
+		k := fact.Key()
+		if donePred[k] {
+			continue // the delta join covers every new fact of k at once
+		}
+		donePred[k] = true
+		lo := preMarks[encKey(k, false)]
+		for _, cr := range g.bodyEDB[k] {
+			// Occurrence count of k among the EDB-joined literals of cr.r.
+			occ := 0
+			for _, l := range cr.r.Body {
+				if !l.Neg && l.Atom.Key() == k && g.edbShape(k) != nil {
+					occ++
+				}
+			}
+			if occ == 0 {
+				continue
+			}
+			for _, tg := range g.targetsByPred[predSign{key: cr.r.Head.Atom.Key(), neg: !cr.r.Head.Neg}] {
+				relevant := false
+				for cs := range tg.comps {
+					if !g.src.Less(int(cs), cr.comp) {
+						relevant = true
+						break
+					}
+				}
+				if !relevant {
+					continue
+				}
+				mark := scratch.Mark()
+				if unify.MatchAtoms(scratch, cr.r.Head.Atom, tg.atom) {
+					for pos := 0; pos < occ; pos++ {
+						if err := g.check("ground: delta competitor pass"); err != nil {
+							scratch.Undo(mark)
+							return err
+						}
+						d := deltaRestrict{key: k, lo: lo, pos: pos}
+						if err := g.emitCompetitors(g.st, g.shapes, cr.comp, cr.r, scratch, d); err != nil {
+							scratch.Undo(mark)
+							return err
+						}
+					}
+				}
+				scratch.Undo(mark)
+			}
+		}
+	}
+	return nil
+}
+
+// deltaPass runs the merged possible-atom/fireable semi-naive rounds over
+// the tuples inserted since the last recordMarks: every encoded rule is
+// joined once per body position with that position restricted to the
+// delta, and each satisfying substitution both derives the head possible
+// atom and instantiates the ground rule (the dedup absorbs substitutions
+// reachable through several delta positions). Round 0 is skipped — the
+// pre-delta store was already at fixpoint and fully instantiated.
+func (g *grounder) deltaPass() error {
+	derived := 0
+	for {
+		startSizes := make(map[ast.PredKey]int)
+		for _, k := range g.st.Keys() {
+			startSizes[k] = g.st.Peek(k).Len()
+		}
+		newThisRound := 0
+		for _, sr := range g.dlSrc {
+			if err := g.check("ground: delta fixpoint"); err != nil {
+				return err
+			}
+			for i := range sr.body {
+				n, err := g.evalDeltaRule(sr, i)
+				if err != nil {
+					return err
+				}
+				newThisRound += n
+				derived += n
+				if g.opts.MaxAtoms > 0 && derived > g.opts.MaxAtoms {
+					return &ErrBudget{"possible-atom", g.opts.MaxAtoms}
+				}
+			}
+		}
+		for k, n := range startSizes {
+			g.marks[k] = n
+		}
+		if newThisRound == 0 {
+			return nil
+		}
+	}
+}
+
+// evalDeltaRule joins one encoded rule body with position deltaPos
+// restricted to its relation's delta, instantiating the source rule and
+// inserting the head possible atom for every satisfying substitution. It
+// returns the number of new possible-atom tuples.
+func (g *grounder) evalDeltaRule(sr srcRule, deltaPos int) (int, error) {
+	s := unify.NewSubst()
+	jls := make([]storage.JoinLit, len(sr.body))
+	for i, l := range sr.body {
+		jls[i] = storage.JoinLit{Rel: g.st.Peek(l.Key), Args: l.Args}
+		if i == deltaPos {
+			rel := jls[i].Rel
+			if rel == nil || rel.Len() <= g.marks[l.Key] {
+				return 0, nil // empty delta: nothing new can bind here
+			}
+			jls[i].Lo = g.marks[l.Key]
+		}
+	}
+	inserted := 0
+	headKey := encKey(sr.r.Head.Atom.Key(), sr.r.Head.Neg)
+	err := storage.Join(s, jls, deltaPos, !g.opts.NoJoinPlanner, func() error {
+		for _, b := range sr.r.Builtins {
+			gb := ast.Builtin{Op: b.Op, L: substExpr(s, b.L), R: substExpr(s, b.R)}
+			holds, ok := ast.EvalBuiltin(gb)
+			if !ok || !holds {
+				return nil
+			}
+		}
+		if err := g.instantiate(sr.comp, sr.r, s); err != nil {
+			return err
+		}
+		head := s.ApplyAtom(sr.r.Head.Atom)
+		if !g.atomFilter(head) {
+			return nil
+		}
+		if g.st.Rel(headKey).Insert(head.Args) {
+			inserted++
+		}
+		return nil
+	})
+	return inserted, err
+}

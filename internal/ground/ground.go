@@ -8,8 +8,10 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/datalog"
 	"repro/internal/interp"
 	"repro/internal/interrupt"
+	"repro/internal/storage"
 	"repro/internal/term"
 	"repro/internal/unify"
 )
@@ -77,11 +79,22 @@ type Rule struct {
 }
 
 // Program is a grounded ordered program.
+//
+// Rules is append-only: incremental updates (AssertFacts, RetractFacts)
+// add instances at the end and never reorder or remove existing ones, so a
+// prefix of Rules captured at one version stays valid forever. Retraction
+// is expressed as per-snapshot dead sets maintained by the caller, not as
+// mutation of Rules.
 type Program struct {
 	Src      *ast.OrderedProgram
 	Tab      *interp.Table
 	Rules    []Rule
 	Universe []ast.Term
+
+	// inc retains the smart-grounding working state (possible-atom store,
+	// encoded rules, competitor targets, semi-naive watermarks) so facts can
+	// be asserted and retracted in place. nil after full-mode grounding.
+	inc *grounder
 }
 
 // NumComponents returns the number of components of the source program.
@@ -154,7 +167,7 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 		opts: opts,
 		uni:  uni,
 		tab:  interp.NewTable(),
-		seen: make(map[string]bool),
+		seen: make(map[string]int32),
 	}
 	switch opts.Mode {
 	case ModeFull:
@@ -167,7 +180,12 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Src: p, Tab: g.tab, Rules: g.rules, Universe: uni}, nil
+	gp := &Program{Src: p, Tab: g.tab, Rules: g.rules, Universe: g.uni}
+	if opts.Mode == ModeSmart {
+		gp.inc = g
+		g.ctx = nil // updates carry their own context
+	}
+	return gp, nil
 }
 
 type grounder struct {
@@ -177,7 +195,10 @@ type grounder struct {
 	uni   []ast.Term
 	tab   *interp.Table
 	rules []Rule
-	seen  map[string]bool // dedup: component + canonical instance text
+	// seen dedups instances (key: packed component + head + body ids) and
+	// remembers each instance's index in rules, which is how retraction
+	// finds the instance of a fact and re-assertion resurrects it.
+	seen map[string]int32
 	// emitted counts instantiate calls for the stride-based context poll
 	// (a single rule can expand to universe^vars instances, so per-stratum
 	// checkpoints alone would not bound the interruption latency).
@@ -188,6 +209,59 @@ type grounder struct {
 	factComps map[string][]int
 	// keyBuf is the reusable dedup-key scratch buffer.
 	keyBuf []byte
+
+	// Smart-mode state retained for incremental updates (delta.go). All of
+	// it is mutated only under the engine's write lock.
+	st            *storage.Store   // possible-atom store (t:/f:/$dom relations)
+	dlSrc         []srcRule        // source rules with their encoded datalog bodies
+	inUniverse    map[term.ID]bool // universe membership by interned id
+	shapes        map[ast.PredKey]*predShape
+	targets       map[interp.Lit]*target     // competitor-pass targets emitted so far
+	targetsByPred map[predSign][]*target     // same targets indexed by head predicate+sign
+	bodyEDB       map[ast.PredKey][]compRule // source rules with a positive body literal on key
+	marks         map[ast.PredKey]int        // relation sizes at the end of the last (delta) pass
+	extra         map[int][]*ast.Rule        // asserted fact rules per component, still in effect
+	// constRefs counts, per constant (keyed by String()), its occurrences in
+	// the effective program (source rules plus asserted facts minus retracted
+	// ones). A retraction that would drop a count to zero shrinks the
+	// Herbrand universe a rebuild computes, so it falls back to regrounding.
+	constRefs   map[string]int
+	uniFallback bool // universe used the fresh-constant fallback
+	hasFunctors bool // program terms use function symbols
+	// poisoned marks the incremental state unusable after a mid-update
+	// error (budget overrun, interruption): partial appends are already
+	// recorded in seen/rules, so further in-place updates could dedup
+	// against instances no snapshot contains. Callers fall back to a fresh
+	// reground.
+	poisoned bool
+}
+
+// srcRule pairs a source rule with its owning component and its encoded
+// datalog body (possible-atom literals plus $dom literals for free vars).
+type srcRule struct {
+	comp int
+	r    *ast.Rule
+	body []datalog.Lit
+}
+
+// target is one competitor-pass target: a retained head literal and the
+// components owning instances with that head.
+type target struct {
+	atom  ast.Atom
+	neg   bool
+	comps map[int32]bool
+}
+
+// predSign keys targets by head predicate and sign.
+type predSign struct {
+	key ast.PredKey
+	neg bool
+}
+
+// compRule pairs a source rule with its component position.
+type compRule struct {
+	comp int
+	r    *ast.Rule
 }
 
 // instantiate builds the ground instance of r under subst, interning its
@@ -233,10 +307,10 @@ func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
 		g.keyBuf = appendInt32(g.keyBuf, int32(l))
 	}
 	key := string(g.keyBuf)
-	if g.seen[key] {
+	if _, dup := g.seen[key]; dup {
 		return nil
 	}
-	g.seen[key] = true
+	g.seen[key] = int32(len(g.rules))
 	g.rules = append(g.rules, Rule{Head: head, Body: body, Comp: int32(comp), Src: r})
 	if g.tab.Len() > g.opts.MaxAtoms {
 		return &ErrBudget{"atom", g.opts.MaxAtoms}
@@ -286,6 +360,49 @@ func (g *grounder) factKey(a ast.Atom, intern bool) (string, bool) {
 		g.keyBuf = term.AppendID(g.keyBuf, tid)
 	}
 	return string(g.keyBuf), true
+}
+
+// addConstRefs adds d to the occurrence count of every constant mentioned
+// in r — head arguments, body arguments and builtin expressions, the same
+// positions ast.OrderedProgram.Constants walks, so a count reaching zero
+// means exactly that a rebuild's universe would no longer contain the
+// constant.
+func (g *grounder) addConstRefs(r *ast.Rule, d int) {
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch t := t.(type) {
+		case ast.Sym:
+			g.constRefs[t.String()] += d
+		case ast.Int:
+			g.constRefs[t.String()] += d
+		case ast.Compound:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	var walkExpr func(e ast.Expr)
+	walkExpr = func(e ast.Expr) {
+		switch e := e.(type) {
+		case ast.TermExpr:
+			walk(e.Term)
+		case ast.BinExpr:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		}
+	}
+	for _, t := range r.Head.Atom.Args {
+		walk(t)
+	}
+	for _, l := range r.Body {
+		for _, t := range l.Atom.Args {
+			walk(t)
+		}
+	}
+	for _, b := range r.Builtins {
+		walkExpr(b.L)
+		walkExpr(b.R)
+	}
 }
 
 func substExpr(s *unify.Subst, e ast.Expr) ast.Expr {

@@ -40,41 +40,38 @@ func encKey(k ast.PredKey, neg bool) ast.PredKey {
 // Every model-relevant instance is retained; the atom table is the
 // relevant Herbrand base (atoms omitted are undefined in every least,
 // assumption-free or stable model).
+//
+// The working state (possible-atom store, encoded rules, targets,
+// watermarks) is kept on the grounder so delta.go can assert and retract
+// facts incrementally after the base grounding.
 func (g *grounder) smart() error {
 	// The store shares the atom table's term table, so a term interned while
 	// filling relations is the same id the instantiation pass sees.
-	st := storage.NewStoreWith(g.tab.TermTable())
-	domRel := st.Rel(domKey)
+	g.st = storage.NewStoreWith(g.tab.TermTable())
+	g.extra = make(map[int][]*ast.Rule)
+	g.hasFunctors = len(g.src.Functors()) > 0
+	g.uniFallback = len(g.src.Constants()) == 0 && len(g.uni) > 0
+	g.constRefs = make(map[string]int)
+	for _, c := range g.src.Components {
+		for _, r := range c.Rules {
+			g.addConstRefs(r, 1)
+		}
+	}
+	domRel := g.st.Rel(domKey)
 	for _, t := range g.uni {
 		domRel.Insert([]ast.Term{t})
 	}
 
-	type srcRule struct {
-		comp int
-		r    *ast.Rule
-		body []datalog.Lit // encoded body plus $dom literals for free vars
-	}
-	var srcs []srcRule
 	var dl []*datalog.Rule
 	for ci, c := range g.src.Components {
 		for _, r := range c.Rules {
-			bound := make(map[string]bool)
-			body := make([]datalog.Lit, 0, len(r.Body)+2)
-			for _, l := range r.Body {
-				body = append(body, datalog.Lit{Key: encKey(l.Atom.Key(), l.Neg), Args: l.Atom.Args})
-				for _, v := range l.Vars(nil) {
-					bound[v.Name] = true
-				}
-			}
-			for _, v := range r.Vars() {
-				if !bound[v.Name] {
-					bound[v.Name] = true
-					body = append(body, datalog.Lit{Key: domKey, Args: []ast.Term{v}})
-				}
-			}
-			head := datalog.Lit{Key: encKey(r.Head.Atom.Key(), r.Head.Neg), Args: r.Head.Atom.Args}
-			dl = append(dl, &datalog.Rule{Head: head, Body: body, Builtins: r.Builtins})
-			srcs = append(srcs, srcRule{comp: ci, r: r, body: body})
+			sr := encodeRule(ci, r)
+			dl = append(dl, &datalog.Rule{
+				Head:     datalog.Lit{Key: encKey(r.Head.Atom.Key(), r.Head.Neg), Args: r.Head.Atom.Args},
+				Body:     sr.body,
+				Builtins: r.Builtins,
+			})
+			g.dlSrc = append(g.dlSrc, sr)
 		}
 	}
 	// Keep the possible-atom closure inside the depth-bounded universe:
@@ -83,23 +80,14 @@ func (g *grounder) smart() error {
 	// so a term the table has never seen is provably outside the universe
 	// and membership is an id probe.
 	tt := g.tab.TermTable()
-	inUniverse := make(map[term.ID]bool, len(g.uni))
+	g.inUniverse = make(map[term.ID]bool, len(g.uni))
 	for _, t := range g.uni {
-		inUniverse[tt.Intern(t)] = true
-	}
-	filter := func(a ast.Atom) bool {
-		for _, t := range a.Args {
-			id, ok := tt.Lookup(t)
-			if !ok || !inUniverse[id] {
-				return false
-			}
-		}
-		return true
+		g.inUniverse[tt.Intern(t)] = true
 	}
 	if err := g.check("ground: possible-atom fixpoint"); err != nil {
 		return err
 	}
-	if _, err := datalog.Eval(st, dl, datalog.Options{MaxDerived: g.opts.MaxAtoms, AtomFilter: filter, NoPlanner: g.opts.NoJoinPlanner}); err != nil {
+	if _, err := datalog.Eval(g.st, dl, datalog.Options{MaxDerived: g.opts.MaxAtoms, AtomFilter: g.atomFilter, NoPlanner: g.opts.NoJoinPlanner}); err != nil {
 		if err == datalog.ErrBudget {
 			return &ErrBudget{"possible-atom", g.opts.MaxAtoms}
 		}
@@ -107,65 +95,154 @@ func (g *grounder) smart() error {
 	}
 
 	// Fireable pass.
-	for _, sr := range srcs {
+	for _, sr := range g.dlSrc {
 		if err := g.check("ground: fireable pass"); err != nil {
 			return err
 		}
-		if err := g.joinInstantiate(st, sr.comp, sr.r, sr.body); err != nil {
+		if err := g.joinInstantiate(g.st, sr.comp, sr.r, sr.body); err != nil {
 			return err
 		}
 	}
 
 	// Competitor pass. Snapshot the retained heads and the components that
-	// own instances of each head literal.
-	shapes := g.predShapes()
-	type target struct {
-		atom  ast.Atom
-		neg   bool
-		comps map[int32]bool
-	}
-	targets := make(map[interp.Lit]*target)
-	for i := range g.rules {
-		r := &g.rules[i]
-		t, ok := targets[r.Head]
-		if !ok {
-			t = &target{atom: g.tab.Atom(r.Head.Atom()), neg: r.Head.Neg(), comps: make(map[int32]bool)}
-			targets[r.Head] = t
+	// own instances of each head literal, then instantiate the potential
+	// competitors of every target.
+	g.shapes = g.predShapes()
+	g.bodyEDB = make(map[ast.PredKey][]compRule)
+	for ci, c := range g.src.Components {
+		for _, r := range c.Rules {
+			for _, l := range r.Body {
+				if !l.Neg {
+					g.bodyEDB[l.Atom.Key()] = append(g.bodyEDB[l.Atom.Key()], compRule{comp: ci, r: r})
+				}
+			}
 		}
-		t.comps[r.Comp] = true
 	}
-	scratch := unify.NewSubst()
-	for _, tg := range targets {
+	g.targets = make(map[interp.Lit]*target)
+	g.targetsByPred = make(map[predSign][]*target)
+	grown := g.registerTargets(0)
+	for _, tg := range grown {
 		if err := g.check("ground: competitor pass"); err != nil {
 			return err
 		}
-		wantKey := tg.atom.Key()
-		wantNeg := !tg.neg // competitor head sign
-		for ci, c := range g.src.Components {
-			// A rule in component ci can overrule or defeat an instance in
-			// component cs iff cs is not strictly below ci.
-			relevant := false
-			for cs := range tg.comps {
-				if !g.src.Less(int(cs), ci) {
-					relevant = true
-					break
-				}
+		if err := g.competitorsFor(tg); err != nil {
+			return err
+		}
+	}
+	g.recordMarks()
+	return nil
+}
+
+// encodeRule builds the datalog encoding of a source rule body: one
+// possible-atom literal per body literal plus a $dom literal for every
+// variable no body literal binds.
+func encodeRule(ci int, r *ast.Rule) srcRule {
+	bound := make(map[string]bool)
+	body := make([]datalog.Lit, 0, len(r.Body)+2)
+	for _, l := range r.Body {
+		body = append(body, datalog.Lit{Key: encKey(l.Atom.Key(), l.Neg), Args: l.Atom.Args})
+		for _, v := range l.Vars(nil) {
+			bound[v.Name] = true
+		}
+	}
+	for _, v := range r.Vars() {
+		if !bound[v.Name] {
+			bound[v.Name] = true
+			body = append(body, datalog.Lit{Key: domKey, Args: []ast.Term{v}})
+		}
+	}
+	return srcRule{comp: ci, r: r, body: body}
+}
+
+// atomFilter keeps derived possible atoms inside the current universe.
+func (g *grounder) atomFilter(a ast.Atom) bool {
+	tt := g.tab.TermTable()
+	for _, t := range a.Args {
+		id, ok := tt.Lookup(t)
+		if !ok || !g.inUniverse[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// registerTargets folds the instances at index >= from into the target
+// index and returns the targets that are new or gained a new owning
+// component — exactly the ones whose competitor instantiation must (re)run.
+func (g *grounder) registerTargets(from int) []*target {
+	var grown []*target
+	seen := make(map[*target]bool)
+	for i := from; i < len(g.rules); i++ {
+		r := &g.rules[i]
+		t, ok := g.targets[r.Head]
+		if !ok {
+			t = &target{atom: g.tab.Atom(r.Head.Atom()), neg: r.Head.Neg(), comps: make(map[int32]bool)}
+			g.targets[r.Head] = t
+			ps := predSign{key: t.atom.Key(), neg: t.neg}
+			g.targetsByPred[ps] = append(g.targetsByPred[ps], t)
+		}
+		if !t.comps[r.Comp] {
+			t.comps[r.Comp] = true
+			if !seen[t] {
+				seen[t] = true
+				grown = append(grown, t)
 			}
-			if !relevant {
-				continue
+		}
+	}
+	return grown
+}
+
+// compRules calls fn for every source rule of the component at position ci:
+// the parsed rules plus any facts asserted after grounding.
+func (g *grounder) compRules(ci int, fn func(*ast.Rule) error) error {
+	for _, r := range g.src.Components[ci].Rules {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range g.extra[ci] {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// competitorsFor instantiates the potential competitors of one target: for
+// every component that can overrule or defeat an owner of the target head,
+// the head-matched rules with the complementary head. Idempotent — the
+// instance dedup absorbs re-runs, which is what lets incremental updates
+// re-run it for targets that grew.
+func (g *grounder) competitorsFor(tg *target) error {
+	scratch := unify.NewSubst()
+	wantKey := tg.atom.Key()
+	wantNeg := !tg.neg // competitor head sign
+	for ci := range g.src.Components {
+		// A rule in component ci can overrule or defeat an instance in
+		// component cs iff cs is not strictly below ci.
+		relevant := false
+		for cs := range tg.comps {
+			if !g.src.Less(int(cs), ci) {
+				relevant = true
+				break
 			}
-			for _, r := range c.Rules {
-				if r.Head.Neg != wantNeg || r.Head.Atom.Key() != wantKey {
-					continue
-				}
-				mark := scratch.Mark()
-				if unify.MatchAtoms(scratch, r.Head.Atom, tg.atom) {
-					if err := g.emitCompetitors(st, shapes, ci, r, scratch); err != nil {
-						return err
-					}
-				}
-				scratch.Undo(mark)
+		}
+		if !relevant {
+			continue
+		}
+		err := g.compRules(ci, func(r *ast.Rule) error {
+			if r.Head.Neg != wantNeg || r.Head.Atom.Key() != wantKey {
+				return nil
 			}
+			mark := scratch.Mark()
+			defer scratch.Undo(mark)
+			if unify.MatchAtoms(scratch, r.Head.Atom, tg.atom) {
+				return g.emitCompetitors(g.st, g.shapes, ci, r, scratch, deltaNone)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -257,32 +334,59 @@ func (g *grounder) predShapes() map[ast.PredKey]*predShape {
 	return shapes
 }
 
+// edbShape returns the predicate's shape when the EDB/CWA competitor
+// simplification applies to it, nil otherwise.
+func (g *grounder) edbShape(k ast.PredKey) *predShape {
+	if g.opts.NoEDBSimplify {
+		return nil
+	}
+	sh := g.shapes[k]
+	if sh != nil && sh.onlyFactPos && sh.topCWA {
+		return sh
+	}
+	return nil
+}
+
+// deltaRestrict restricts one emitCompetitors join to the delta of a fact
+// relation: only substitutions binding at least one tuple of key at index
+// >= lo are enumerated. deltaNone means no restriction (full join).
+type deltaRestrict struct {
+	key ast.PredKey
+	lo  int
+	pos int // which occurrence of key in the join (0-based) scans the delta
+}
+
+var deltaNone = deltaRestrict{pos: -1}
+
 // emitCompetitors instantiates the bodies of a head-matched competitor
 // rule. Positive body literals of EDB-with-CWA predicates join against the
 // facts (non-fact bindings are provably blocked); all other variables
 // range over the universe; instances satisfying a negative literal on a
 // fact of an EDB-with-CWA predicate in a visible-from-everywhere component
 // are dropped (provably blocked as well).
-func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst) error {
-	edb := func(k ast.PredKey) *predShape {
-		if g.opts.NoEDBSimplify {
-			return nil
-		}
-		sh := shapes[k]
-		if sh != nil && sh.onlyFactPos && sh.topCWA {
-			return sh
-		}
-		return nil
-	}
+func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst, delta deltaRestrict) error {
 	// Join items: positive EDB literals bind from the fact relation, joined
 	// in planner order.
 	var joinLits []storage.JoinLit
+	first := -1
+	nth := 0
 	for _, l := range r.Body {
-		if !l.Neg && edb(l.Atom.Key()) != nil {
-			joinLits = append(joinLits, storage.JoinLit{Rel: st.Peek(encKey(l.Atom.Key(), false)), Args: l.Atom.Args})
+		if !l.Neg && g.edbShapeOf(shapes, l.Atom.Key()) != nil {
+			jl := storage.JoinLit{Rel: st.Peek(encKey(l.Atom.Key(), false)), Args: l.Atom.Args}
+			if delta.pos >= 0 && l.Atom.Key() == delta.key {
+				if nth == delta.pos {
+					jl.Lo = delta.lo
+					first = len(joinLits)
+				}
+				nth++
+			}
+			joinLits = append(joinLits, jl)
 		}
 	}
-	return storage.Join(s, joinLits, -1, !g.opts.NoJoinPlanner, func() error {
+	if delta.pos >= 0 && first < 0 {
+		return nil // requested delta occurrence does not exist
+	}
+	return storage.Join(s, joinLits, first, !g.opts.NoJoinPlanner, func() error {
 		// Remaining variables range over the universe.
 		var free []ast.Var
 		for _, v := range r.Vars() {
@@ -292,6 +396,19 @@ func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*pr
 		}
 		return g.enumerateFiltered(st, shapes, comp, r, s, free)
 	})
+}
+
+// edbShapeOf is edbShape over an explicit shape map (the base pass passes
+// the map it is still building).
+func (g *grounder) edbShapeOf(shapes map[ast.PredKey]*predShape, k ast.PredKey) *predShape {
+	if g.opts.NoEDBSimplify {
+		return nil
+	}
+	sh := shapes[k]
+	if sh != nil && sh.onlyFactPos && sh.topCWA {
+		return sh
+	}
+	return nil
 }
 
 // enumerateFiltered binds free variables over the universe and emits
@@ -377,6 +494,17 @@ func (g *grounder) joinInstantiate(st *storage.Store, comp int, r *ast.Rule, bod
 	return storage.Join(s, lits, -1, !g.opts.NoJoinPlanner, func() error {
 		return g.instantiate(comp, r, s)
 	})
+}
+
+// recordMarks snapshots every relation's size: the next delta pass treats
+// tuples inserted after this point as its delta.
+func (g *grounder) recordMarks() {
+	if g.marks == nil {
+		g.marks = make(map[ast.PredKey]int)
+	}
+	for _, k := range g.st.Keys() {
+		g.marks[k] = g.st.Peek(k).Len()
+	}
 }
 
 // enumerate binds the free variables over the universe and emits each

@@ -9,6 +9,7 @@ package interp
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/term"
@@ -44,7 +45,12 @@ func (l Lit) Complement() Lit { return l ^ 1 }
 // interning an already-seen atom costs one per-argument id lookup and one
 // map probe over a short binary key instead of re-serialising the atom to
 // a string. The zero value is not usable; call NewTable.
+//
+// Like term.Table, an atom table is safe for one (externally serialised)
+// writer against concurrent readers: Intern/InternIDs take the write lock,
+// Lookup/LookupIDs/Atom/Len/OfPred/Preds the read lock.
 type Table struct {
+	mu    sync.RWMutex
 	tab   *term.Table
 	byKey map[string]AtomID
 	atoms []ast.Atom
@@ -83,7 +89,10 @@ func (t *Table) Intern(a ast.Atom) AtomID {
 	for _, arg := range a.Args {
 		args = append(args, t.tab.Intern(arg))
 	}
-	t.buf = t.appendKey(t.buf[:0], t.tab.InternSym(a.Pred), args)
+	pred := t.tab.InternSym(a.Pred)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = t.appendKey(t.buf[:0], pred, args)
 	if id, ok := t.byKey[string(t.buf)]; ok {
 		return id
 	}
@@ -116,18 +125,22 @@ func (t *Table) Lookup(a ast.Atom) (AtomID, bool) {
 	}
 	var kb [64]byte
 	key := t.appendKey(kb[:0], pred, args)
+	t.mu.RLock()
 	id, ok := t.byKey[string(key)]
+	t.mu.RUnlock()
 	return id, ok
 }
 
 // LookupIDs returns the id of the ground atom with the given predicate
 // symbol id and already-interned argument ids, without interning. Like
-// Lookup it is read-only and safe to call concurrently once interning is
-// done.
+// Lookup it takes only the read lock and is safe against a concurrent
+// writer.
 func (t *Table) LookupIDs(pred term.ID, args []term.ID) (AtomID, bool) {
 	var kb [64]byte
 	key := t.appendKey(kb[:0], pred, args)
+	t.mu.RLock()
 	id, ok := t.byKey[string(key)]
+	t.mu.RUnlock()
 	return id, ok
 }
 
@@ -135,6 +148,8 @@ func (t *Table) LookupIDs(pred term.ID, args []term.ID) (AtomID, bool) {
 // and argument ids have already been interned by the caller (a must decode
 // to exactly those ids). It skips re-interning the arguments.
 func (t *Table) InternIDs(a ast.Atom, pred term.ID, args []term.ID) AtomID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.buf = t.appendKey(t.buf[:0], pred, args)
 	if id, ok := t.byKey[string(t.buf)]; ok {
 		return id
@@ -148,18 +163,37 @@ func (t *Table) InternIDs(a ast.Atom, pred term.ID, args []term.ID) AtomID {
 }
 
 // Atom returns the atom for an id.
-func (t *Table) Atom(id AtomID) ast.Atom { return t.atoms[id] }
+func (t *Table) Atom(id AtomID) ast.Atom {
+	t.mu.RLock()
+	a := t.atoms[id]
+	t.mu.RUnlock()
+	return a
+}
 
 // Len returns the number of interned atoms.
-func (t *Table) Len() int { return len(t.atoms) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := len(t.atoms)
+	t.mu.RUnlock()
+	return n
+}
 
 // OfPred returns the ids of all interned atoms of a predicate, in
-// interning order. The returned slice is shared; do not modify.
-func (t *Table) OfPred(k ast.PredKey) []AtomID { return t.preds[k] }
+// interning order. The returned slice is shared; do not modify. A
+// concurrent writer may append further atoms of the predicate, but the
+// prefix the caller received is immutable.
+func (t *Table) OfPred(k ast.PredKey) []AtomID {
+	t.mu.RLock()
+	ids := t.preds[k]
+	t.mu.RUnlock()
+	return ids
+}
 
 // Preds returns all predicate keys with at least one interned atom,
 // sorted by name then arity.
 func (t *Table) Preds() []ast.PredKey {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	keys := make([]ast.PredKey, 0, len(t.preds))
 	for k := range t.preds {
 		keys = append(keys, k)

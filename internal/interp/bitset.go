@@ -16,8 +16,16 @@ func NewBitset(n int) *Bitset {
 // Cap returns the bit capacity.
 func (b *Bitset) Cap() int { return b.n }
 
-// Get reports whether bit i is set.
-func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+// Get reports whether bit i is set. Indexes at or beyond the capacity read
+// as clear: interpretations are sized when built, and an atom interned
+// later (by a snapshot update sharing the atom table) is simply not a
+// member, not an out-of-range access.
+func (b *Bitset) Get(i int) bool {
+	if uint(i) >= uint(b.n) {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
 
 // Set sets bit i.
 func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }

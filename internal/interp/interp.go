@@ -102,7 +102,7 @@ func (in *Interp) Len() int { return in.pos.Count() + in.neg.Count() }
 // Undefined returns the ids of atoms with value Undef (the paper's Ī).
 func (in *Interp) Undefined() []AtomID {
 	var out []AtomID
-	for i := 0; i < in.tab.Len(); i++ {
+	for i, n := 0, in.tab.Len(); i < n; i++ {
 		if !in.pos.Get(i) && !in.neg.Get(i) {
 			out = append(out, AtomID(i))
 		}
@@ -162,7 +162,7 @@ func (in *Interp) Consistent() bool { return !in.pos.Intersects(in.neg) }
 // atom.
 func (in *Interp) Lits() []Lit {
 	out := make([]Lit, 0, in.Len())
-	for i := 0; i < in.tab.Len(); i++ {
+	for i, n := 0, in.tab.Len(); i < n; i++ {
 		if in.pos.Get(i) {
 			out = append(out, MkLit(AtomID(i), false))
 		}

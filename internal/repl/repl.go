@@ -1,13 +1,15 @@
 // Package repl implements the interactive shell behind "ordlog -i": a
 // small knowledge-base console in the spirit the paper's conclusion
-// sketches. It keeps a mutable program (facts can be asserted into
-// components), re-grounds lazily, and answers queries, membership checks,
-// proofs and model requests.
+// sketches. Ground facts are asserted and retracted through the engine's
+// incremental snapshot machinery (no re-grounding); asserting a proper
+// rule rebuilds the engine lazily. Queries, membership checks, proofs and
+// model requests all read the current snapshot.
 //
 // Commands (one per line):
 //
 //	?- <literals>.          query against the current least model
-//	assert <comp> <clause>  add a clause to a component
+//	assert <comp> <clause>  add a fact (incremental) or rule to a component
+//	retract <comp> <fact>   remove a ground fact (incremental)
 //	least [comp]            print the least model
 //	stable [comp]           print the stable models
 //	cautious [comp]         print the cautious consequences
@@ -24,6 +26,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -35,10 +38,19 @@ import (
 	"repro/internal/stable"
 )
 
+// factEvent records one incremental assert/retract applied to the live
+// engine but not yet folded into the source program.
+type factEvent struct {
+	comp    string
+	lit     ast.Literal
+	retract bool
+}
+
 // REPL is an interactive session over one ordered program.
 type REPL struct {
 	prog   *ast.OrderedProgram
 	eng    *core.Engine // nil when dirty
+	events []factEvent  // fact updates applied to eng, pending in prog
 	comp   string       // default component ("" = engine default)
 	out    io.Writer
 	cfg    core.Config
@@ -82,6 +94,13 @@ func (r *REPL) Exec(line string) bool {
 		r.stats()
 	case line == "list":
 		fmt.Fprint(r.out, r.prog.String())
+		for _, ev := range r.events {
+			if ev.retract {
+				fmt.Fprintf(r.out, "%% retracted from %s: %s\n", ev.comp, ev.lit)
+			} else {
+				fmt.Fprintf(r.out, "%% asserted in %s: %s.\n", ev.comp, ev.lit)
+			}
+		}
 	case line == "analyze":
 		for _, d := range analyze.Program(r.prog) {
 			fmt.Fprintln(r.out, d)
@@ -99,6 +118,8 @@ func (r *REPL) Exec(line string) bool {
 		r.query(line)
 	case strings.HasPrefix(line, "assert "):
 		r.assert(strings.TrimPrefix(line, "assert "))
+	case strings.HasPrefix(line, "retract "):
+		r.retract(strings.TrimPrefix(line, "retract "))
 	case line == "least" || strings.HasPrefix(line, "least "):
 		r.least(strings.TrimSpace(strings.TrimPrefix(line, "least")))
 	case line == "stable" || strings.HasPrefix(line, "stable "):
@@ -121,7 +142,8 @@ func (r *REPL) Exec(line string) bool {
 func (r *REPL) help() {
 	fmt.Fprint(r.out, `commands:
   ?- <literals>.          query the least model
-  assert <comp> <clause>  add a clause to a component
+  assert <comp> <clause>  add a fact (incremental) or rule to a component
+  retract <comp> <fact>   remove a ground fact (incremental)
   least | stable | cautious [comp]
   prove <literal>         goal-directed proof
   explain <atom>          rule statuses
@@ -203,14 +225,95 @@ func (r *REPL) assert(rest string) {
 		fmt.Fprintf(r.out, "error: %v\n", err)
 		return
 	}
-	c := r.prog.Component(comp)
-	if c == nil {
+	if r.prog.Component(comp) == nil {
 		fmt.Fprintf(r.out, "error: unknown component %q\n", comp)
 		return
 	}
-	c.AddRule(rule)
+	// Ground facts against a live engine go through the incremental
+	// snapshot machinery; the source program catches up lazily (flush) when
+	// a proper rule forces a rebuild.
+	if r.eng != nil && rule.IsFact() && rule.Head.Atom.Ground() {
+		snap, err := r.eng.Update(context.Background(), comp, []ast.Literal{rule.Head})
+		if err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return
+		}
+		r.events = append(r.events, factEvent{comp: comp, lit: rule.Head})
+		fmt.Fprintf(r.out, "asserted in %s: %s (version %d)\n", comp, rule, snap.Version())
+		return
+	}
+	r.flush()
+	r.prog.Component(comp).AddRule(rule)
 	r.eng = nil // re-ground lazily
 	fmt.Fprintf(r.out, "added to %s: %s\n", comp, rule)
+}
+
+func (r *REPL) retract(rest string) {
+	fields := strings.SplitN(rest, " ", 2)
+	if len(fields) != 2 {
+		fmt.Fprintln(r.out, "error: usage: retract <component> <fact>")
+		return
+	}
+	comp, arg := fields[0], strings.TrimSuffix(strings.TrimSpace(fields[1]), ".")
+	lit, err := parser.ParseLiteral(arg)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	if !lit.Atom.Ground() {
+		fmt.Fprintln(r.out, "error: retract needs a ground fact")
+		return
+	}
+	if r.prog.Component(comp) == nil {
+		fmt.Fprintf(r.out, "error: unknown component %q\n", comp)
+		return
+	}
+	eng, err := r.engine()
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	snap, err := eng.Retract(context.Background(), comp, []ast.Literal{lit})
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	r.events = append(r.events, factEvent{comp: comp, lit: lit, retract: true})
+	fmt.Fprintf(r.out, "retracted from %s: %s (version %d)\n", comp, lit, snap.Version())
+}
+
+// flush folds the incremental fact updates into the source program — the
+// same replay Engine.Update uses when it must reground — so a rebuild from
+// r.prog starts from the state the retiring engine ended at.
+func (r *REPL) flush() {
+	for _, ev := range r.events {
+		c := r.prog.Component(ev.comp)
+		if c == nil {
+			continue
+		}
+		if ev.retract {
+			kept := c.Rules[:0]
+			for _, rule := range c.Rules {
+				if rule.IsFact() && rule.Head.Neg == ev.lit.Neg && rule.Head.Atom.Ground() && rule.Head.Atom.Equal(ev.lit.Atom) {
+					continue
+				}
+				kept = append(kept, rule)
+			}
+			c.Rules = kept
+			continue
+		}
+		present := false
+		for _, rule := range c.Rules {
+			if rule.IsFact() && rule.Head.Neg == ev.lit.Neg && rule.Head.Atom.Ground() && rule.Head.Atom.Equal(ev.lit.Atom) {
+				present = true
+				break
+			}
+		}
+		if !present {
+			c.AddRule(ast.Fact(ev.lit))
+		}
+	}
+	r.events = nil
 }
 
 func (r *REPL) least(comp string) {
@@ -311,6 +414,6 @@ func (r *REPL) stats() {
 		fmt.Fprintf(r.out, "error: %v\n", err)
 		return
 	}
-	fmt.Fprintf(r.out, "components: %d, ground rules: %d, relevant atoms: %d\n",
-		len(r.prog.Components), eng.NumGroundRules(), eng.NumAtoms())
+	fmt.Fprintf(r.out, "components: %d, ground rules: %d, relevant atoms: %d, version: %d\n",
+		len(r.prog.Components), eng.NumGroundRules(), eng.NumAtoms(), eng.Current().Version())
 }

@@ -10,6 +10,8 @@
 package term
 
 import (
+	"sync"
+
 	"repro/internal/ast"
 )
 
@@ -22,12 +24,15 @@ type ID int32
 // lookups.
 const None ID = -1
 
-// Table interns terms. The zero value is not usable; call NewTable. A
-// Table is not safe for concurrent mutation; the engine confines interning
-// to one grounding or evaluation run. Once interning is done, the
-// read-only methods (Lookup, LookupSym, Term, Len) are safe to call from
-// multiple goroutines.
+// Table interns terms. The zero value is not usable; call NewTable.
+//
+// A Table is safe for one writer against any number of concurrent readers:
+// the mutating methods (Intern, InternSym) take the write lock, the reading
+// methods (Lookup, LookupSym, Term, Len) the read lock. Writers themselves
+// must be externally serialised — the engine funnels all interning through
+// one grounding run or one snapshot update at a time.
 type Table struct {
+	mu    sync.RWMutex
 	syms  map[string]ID
 	ints  map[int64]ID
 	vars  map[string]ID
@@ -47,11 +52,21 @@ func NewTable() *Table {
 }
 
 // Len returns the number of interned terms.
-func (t *Table) Len() int { return len(t.terms) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	n := len(t.terms)
+	t.mu.RUnlock()
+	return n
+}
 
 // Term returns the term for an id. The result shares structure with the
 // interned term; ground terms are immutable by convention.
-func (t *Table) Term(id ID) ast.Term { return t.terms[id] }
+func (t *Table) Term(id ID) ast.Term {
+	t.mu.RLock()
+	x := t.terms[id]
+	t.mu.RUnlock()
+	return x
+}
 
 func (t *Table) add(x ast.Term) ID {
 	id := ID(len(t.terms))
@@ -85,6 +100,13 @@ func compoundKey(b []byte, functor string, args []ID) []byte {
 // Intern(ast.Sym(s)) without boxing the symbol into an interface on the
 // already-interned path.
 func (t *Table) InternSym(s string) ID {
+	t.mu.Lock()
+	id := t.internSymLocked(s)
+	t.mu.Unlock()
+	return id
+}
+
+func (t *Table) internSymLocked(s string) ID {
 	if id, ok := t.syms[s]; ok {
 		return id
 	}
@@ -95,7 +117,9 @@ func (t *Table) InternSym(s string) ID {
 
 // LookupSym returns the id of the symbol s without interning.
 func (t *Table) LookupSym(s string) (ID, bool) {
+	t.mu.RLock()
 	id, ok := t.syms[s]
+	t.mu.RUnlock()
 	return id, ok
 }
 
@@ -103,9 +127,16 @@ func (t *Table) LookupSym(s string) (ID, bool) {
 // subterm) if needed. Two structurally equal terms always receive the same
 // id, so ID equality is structural equality.
 func (t *Table) Intern(x ast.Term) ID {
+	t.mu.Lock()
+	id := t.internLocked(x)
+	t.mu.Unlock()
+	return id
+}
+
+func (t *Table) internLocked(x ast.Term) ID {
 	switch x := x.(type) {
 	case ast.Sym:
-		return t.InternSym(string(x))
+		return t.internSymLocked(string(x))
 	case ast.Int:
 		if id, ok := t.ints[int64(x)]; ok {
 			return id
@@ -124,7 +155,7 @@ func (t *Table) Intern(x ast.Term) ID {
 		var buf [8]ID
 		ids := buf[:0]
 		for _, a := range x.Args {
-			ids = append(ids, t.Intern(a))
+			ids = append(ids, t.internLocked(a))
 		}
 		t.buf = compoundKey(t.buf, x.Functor, ids)
 		if id, ok := t.comps[string(t.buf)]; ok {
@@ -139,10 +170,17 @@ func (t *Table) Intern(x ast.Term) ID {
 
 // Lookup returns the id of x without interning. The second result is false
 // when x (or any subterm) has never been interned — in particular, a ground
-// term not present in any relation of the owning store. Lookup is genuinely
-// read-only (it never touches the table's scratch buffer), so concurrent
-// Lookups on a table that is no longer being interned into are safe.
+// term not present in any relation of the owning store. Lookup takes the
+// read lock only (and never touches the table's scratch buffer), so any
+// number of concurrent Lookups run against at most one writer.
 func (t *Table) Lookup(x ast.Term) (ID, bool) {
+	t.mu.RLock()
+	id, ok := t.lookupLocked(x)
+	t.mu.RUnlock()
+	return id, ok
+}
+
+func (t *Table) lookupLocked(x ast.Term) (ID, bool) {
 	switch x := x.(type) {
 	case ast.Sym:
 		id, ok := t.syms[string(x)]
@@ -157,7 +195,7 @@ func (t *Table) Lookup(x ast.Term) (ID, bool) {
 		var buf [8]ID
 		ids := buf[:0]
 		for _, a := range x.Args {
-			id, ok := t.Lookup(a)
+			id, ok := t.lookupLocked(a)
 			if !ok {
 				return None, false
 			}

@@ -32,21 +32,37 @@
 // translations OV, EV and ThreeV (§3–§4 of the paper) and through the
 // baseline implementations in internal/classical.
 //
+// # Snapshots and updates
+//
+// The fact base of an Engine is maintained through immutable versioned
+// snapshots. Engine.Update and Engine.Retract assert and remove ground
+// facts without rebuilding the engine: each returns a new *Snapshot that
+// shares the interned-term storage — and, for every component unaffected
+// by the change, the memoised views and least models — with its parent.
+// Every Engine query method reads the current snapshot; callers that need
+// several queries to agree on one version pin it with Engine.Current and
+// query the snapshot directly:
+//
+//	snap, err := eng.Update(ctx, "birds", facts)
+//	m, err := snap.LeastModel("arctic") // this version, whatever happens next
+//
 // # Concurrency
 //
-// An Engine is safe for concurrent shared use: per-component views and
-// least models are memoised with singleflight semantics, and the batched
-// front ends (Engine.QueryBatch, Engine.LeastModelAll, Engine.ProveBatch,
-// Engine.StableModelsParallel) fan independent work over a bounded worker
-// pool. Returned models are shared and must be treated as read-only; a
-// parsed Program must not be mutated (for example via MergeFacts) once an
-// Engine has been built on it. See README.md "Concurrency" for the full
-// contract.
+// An Engine is safe for concurrent shared use, including concurrent
+// updates: writers are serialised among themselves and never block
+// readers, and a reader keeps the snapshot it pinned. Per-component views
+// and least models are memoised with singleflight semantics, and the
+// batched front ends (Engine.QueryBatch, Engine.LeastModelAll,
+// Engine.ProveBatch, Engine.StableModelsParallel) fan independent work
+// over a bounded worker pool against one pinned snapshot each. Returned
+// models are shared and must be treated as read-only. See README.md
+// "Concurrency" for the full contract.
 package ordlog
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -96,8 +112,16 @@ type (
 	Query = ast.Query
 	// Engine evaluates a grounded ordered program.
 	Engine = core.Engine
+	// Snapshot is one immutable version of an engine's fact base.
+	Snapshot = core.Snapshot
 	// Config configures engine construction.
 	Config = core.Config
+	// Option is a functional engine option (WithWorkers, WithEnumBudget,
+	// WithTrace) applied on top of a Config by NewEngine.
+	Option = core.Option
+	// ConfigError reports the invalid Config field that made NewEngine
+	// reject a configuration; inspect it with errors.As.
+	ConfigError = core.ConfigError
 	// Model is a (possibly partial) model in one component.
 	Model = core.Model
 	// Binding maps query variables to ground terms.
@@ -178,13 +202,59 @@ func ParseRule(src string) (*Rule, error) { return parser.ParseRule(src) }
 // ParseLiteral parses a single literal such as "-fly(penguin)".
 func ParseLiteral(src string) (Literal, error) { return parser.ParseLiteral(src) }
 
-// NewEngine grounds a program and returns an evaluation engine.
-func NewEngine(p *Program, cfg Config) (*Engine, error) { return core.NewEngine(p, cfg) }
+// NewEngine grounds a program and returns an evaluation engine. The
+// functional options are applied on top of cfg; an invalid configuration
+// is rejected with a *ConfigError.
+func NewEngine(p *Program, cfg Config, opts ...Option) (*Engine, error) {
+	return core.NewEngine(p, cfg, opts...)
+}
 
 // NewEngineCtx is NewEngine with cooperative cancellation of the grounding
 // phase.
-func NewEngineCtx(ctx context.Context, p *Program, cfg Config) (*Engine, error) {
-	return core.NewEngineCtx(ctx, p, cfg)
+func NewEngineCtx(ctx context.Context, p *Program, cfg Config, opts ...Option) (*Engine, error) {
+	return core.NewEngineCtx(ctx, p, cfg, opts...)
+}
+
+// WithWorkers returns an Option setting the default worker-pool size used
+// by the batched entry points and parallel enumeration whenever a call
+// leaves its own Workers field zero.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithEnumBudget returns an Option setting the default leaf budget for
+// stable and assumption-free enumeration whenever a call leaves
+// EnumOptions.MaxLeaves zero.
+func WithEnumBudget(n int) Option { return core.WithEnumBudget(n) }
+
+// WithTrace returns an Option directing one line per engine lifecycle
+// event (grounding, updates, least-model computations) to w.
+func WithTrace(w io.Writer) Option { return core.WithTrace(w) }
+
+// ParseFacts parses module-free clauses (typically a bulk fact base) and
+// returns them as literals suitable for Engine.Update. Every clause must
+// be a ground fact.
+func ParseFacts(src string) ([]Literal, error) {
+	extra, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(extra.Components) == 0 {
+		return nil, nil
+	}
+	if len(extra.Components) != 1 || extra.Components[0].Name != parser.MainComponent {
+		return nil, fmt.Errorf("fact source must be module-free")
+	}
+	rules, err := transform.FlattenSingle(extra)
+	if err != nil {
+		return nil, err
+	}
+	facts := make([]Literal, 0, len(rules))
+	for _, r := range rules {
+		if !r.IsFact() || !r.Head.Atom.Ground() {
+			return nil, fmt.Errorf("not a ground fact: %s", r)
+		}
+		facts = append(facts, r.Head)
+	}
+	return facts, nil
 }
 
 // OV builds the ordered version of a seminegative program (§3): a
@@ -212,6 +282,12 @@ func Analyze(p *Program) []Diagnostic { return analyze.Program(p) }
 // MergeFacts parses additional clauses (typically a bulk-loaded fact base)
 // and appends them to the named component of an already-parsed program.
 // Call before NewEngine; the program is modified in place.
+//
+// Deprecated: build the engine first and use Engine.Update, which applies
+// the facts as an incremental snapshot without mutating the source program
+// (mutating a Program after NewEngine has undefined results). MergeFacts
+// keeps working for pre-engine bulk loading; ParseFacts converts the same
+// source text into the literals Engine.Update takes.
 func MergeFacts(p *Program, comp string, src string) error {
 	extra, err := parser.ParseProgram(src)
 	if err != nil {
