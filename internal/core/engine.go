@@ -132,7 +132,9 @@ func (e *Engine) Current() *Snapshot { return e.current.Load() }
 // Source returns the original source program. Updates do not rewrite it.
 func (e *Engine) Source() *ast.OrderedProgram { return e.src }
 
-// Grounded returns the current snapshot's ground program.
+// Grounded returns the current snapshot's ground program. See
+// Snapshot.Grounded for the concurrency contract: its Rules and Universe
+// fields must not be read while an Update/Retract may be in flight.
 func (e *Engine) Grounded() *ground.Program { return e.Current().Grounded() }
 
 // NumGroundRules returns the number of live ground rule instances in the

@@ -110,6 +110,14 @@ func (s *Snapshot) Engine() *Engine { return s.eng }
 func (s *Snapshot) Source() *ast.OrderedProgram { return s.eng.src }
 
 // Grounded returns the underlying ground program. Treat it as read-only.
+//
+// The program is shared across snapshots: incremental updates republish its
+// Rules and Universe slice headers (under the engine's write lock, which
+// readers do not take), so reading those fields races with a concurrent
+// Update/Retract. Use Grounded only when no update can be in flight —
+// e.g. for diagnostics and dumps — and prefer the snapshot's own accessors
+// (NumGroundRules, NumAtoms, View, query methods), which read this
+// version's pinned state and are safe under concurrent writers.
 func (s *Snapshot) Grounded() *ground.Program { return s.gp }
 
 // NumGroundRules returns the number of live ground rule instances in this

@@ -475,6 +475,62 @@ func TestRetractUniversalFactFallsBack(t *testing.T) {
 	}
 }
 
+func TestRetractCompoundFactFallsBack(t *testing.T) {
+	p, err := parser.ParseProgram(`
+		module m {
+			p(f(c)).
+			p(X) :- p(X).
+			q(X).
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	v0 := e.Current()
+	// p(f(c)) is the last occurrence of both c and the functor f: a rebuild's
+	// universe collapses to the fresh-constant fallback, which no in-place
+	// bookkeeping (it counts top-level constants only) can reproduce.
+	v1, err := e.Retract(ctx, "m", []ast.Literal{lit(t, "p(f(c))")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Grounded() == v0.Grounded() {
+		t.Fatal("retract of a compound-argument fact must reground, not update in place")
+	}
+	if holdsIn(t, v1, "m", "q(c)") || holdsIn(t, v1, "m", "q(f(c))") {
+		t.Fatal("stale universe terms survived the retract")
+	}
+	fresh, err := parser.ParseProgram(`
+		module m {
+			p(X) :- p(X).
+			q(X).
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewEngine(fresh, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v1.LeastModel("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fe.LeastModel("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("retract diverged from rebuild:\nincremental: %s\nrebuild:     %s", got, want)
+	}
+}
+
 func TestUpdateManyVersionsAgree(t *testing.T) {
 	// A chain of updates must answer exactly like a fresh engine built from
 	// the equivalent source at every step.

@@ -52,7 +52,9 @@ func (gp *Program) Incremental() bool { return gp.inc != nil && !gp.inc.poisoned
 // Concurrency: AssertFacts mutates shared grounder state and must be
 // serialised with every other update to the same Program (the engine's
 // write lock). Readers holding prefix snapshots of Rules are never
-// invalidated.
+// invalidated, but the Rules and Universe headers themselves are
+// republished without reader-side synchronisation — concurrent readers
+// must go through a pinned snapshot, not the Program fields.
 func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Literal) (*Delta, error) {
 	g := gp.inc
 	if g == nil || g.poisoned {
@@ -222,7 +224,11 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 // Retraction of a positive fact on a predicate the EDB/CWA competitor
 // simplification applied to returns ErrNeedsReground: grounding dropped
 // competitor instances it proved blocked by that very fact, so removing it
-// could resurrect instances that were never materialised.
+// could resurrect instances that were never materialised. Facts with
+// compound (functor) arguments take the same path, mirroring AssertFacts:
+// losing the last occurrence of a functor or of a constant nested inside
+// one shrinks the rebuild's functor-closed universe, which the per-constant
+// reference counts below do not capture.
 func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) {
 	g := gp.inc
 	if g == nil || g.poisoned {
@@ -251,6 +257,15 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 			// this very fact; removing it could resurrect instances that
 			// were never materialised.
 			return nil, ErrNeedsReground
+		}
+		for _, t := range f.Atom.Args {
+			if _, isCompound := t.(ast.Compound); isCompound {
+				// A compound argument nests constants the top-level dec
+				// count below would miss, and removing a functor's last
+				// occurrence shrinks the rebuild's functor closure, which
+				// constRefs does not track at all.
+				return nil, ErrNeedsReground
+			}
 		}
 		id, ok := g.tab.Lookup(f.Atom)
 		if !ok {
@@ -290,6 +305,8 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 		}
 		r := ast.Fact(ast.Literal{Neg: f.Neg, Atom: g.tab.Atom(id)})
 		hits = append(hits, hit{idx: idx, f: f, r: r})
+		// Compound args were rejected above, so the top-level walk covers
+		// every constant addConstRefs will decrement for this fact.
 		for _, t := range r.Head.Atom.Args {
 			switch t.(type) {
 			case ast.Sym, ast.Int:
