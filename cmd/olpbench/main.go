@@ -6,12 +6,18 @@
 // Usage:
 //
 //	olpbench [-exp all|figures|B1..B10] [-quick] [-parallel] [-workers n]
-//	         [-timeout d] [-json]
+//	         [-timeout d] [-json] [-metrics]
 //
 // -json runs a fixed set of B1–B5, B7 and B10 measurements and emits a
 // JSON array of {name, ns_op, allocs_op} records to stdout — the same
 // shape the repo's BENCH_*.json trajectory files use — instead of the
 // tables.
+//
+// -metrics keeps the engine's internal/obs counters enabled and appends
+// their per-operation deltas to each -json record as a "metrics" object.
+// Without it the registry is switched off before any work runs, so a
+// -json run with and without -metrics measures exactly the instrumentation
+// overhead (recorded in EXPERIMENTS.md).
 //
 // -parallel (or -exp B9) runs the batched-query throughput experiment:
 // a batch of independent least-model queries fanned over the bounded
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -41,6 +48,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/ground"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/proof"
 	"repro/internal/stable"
 	"repro/internal/transform"
@@ -53,11 +61,24 @@ var (
 	workers  = flag.Int("workers", 0, "worker pool size for B9 (0 = GOMAXPROCS)")
 	timeout  = flag.Duration("timeout", 0, "deadline for the B9 timeout scenario (0 = a quarter of the sequential time)")
 	jsonOut  = flag.Bool("json", false, "emit machine-readable B1–B5/B7 measurements (ns/op, allocs/op) as JSON")
+	metrics  = flag.Bool("metrics", false, "keep engine counters enabled and append their per-op deltas to -json records")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B9")
 	flag.Parse()
+	if !*metrics {
+		obs.SetEnabled(false)
+	}
+	if *cpuProf != "" {
+		f := must(os.Create(*cpuProf))
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "olpbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *jsonOut {
 		benchJSON()
 		return
@@ -119,37 +140,79 @@ func must[T any](v T, err error) T {
 // of the BENCH_*.json trajectory files so `olpbench -json` output can be
 // pasted into them directly.
 type benchResult struct {
-	Name     string `json:"name"`
-	NsOp     int64  `json:"ns_op"`
-	AllocsOp int64  `json:"allocs_op"`
+	Name     string           `json:"name"`
+	NsOp     int64            `json:"ns_op"`
+	AllocsOp int64            `json:"allocs_op"`
+	Metrics  map[string]int64 `json:"metrics,omitempty"`
 }
 
 // measureOp times f like `go test -bench -benchmem`: one untimed warm-up,
 // then batches of iterations grown until the timed batch is long enough to
-// dominate the two ReadMemStats calls bracketing it. Reported values are
-// per-operation means over the final batch.
+// dominate the two ReadMemStats calls bracketing it. The final batch size
+// is then re-timed twice more and the fastest batch is reported — noise
+// (scheduler preemption, frequency drift) only ever adds time, so the
+// minimum is the most repeatable per-operation estimate a short run can
+// give. Alloc and counter deltas come from the fastest batch too.
 func measureOp(name string, f func()) benchResult {
 	f()
 	iters := 1
 	for {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			f()
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
+		r, elapsed := timeBatch(name, iters, f)
 		if elapsed >= 20*time.Millisecond || iters >= 1<<22 {
-			return benchResult{
-				Name:     name,
-				NsOp:     elapsed.Nanoseconds() / int64(iters),
-				AllocsOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+			for i := 0; i < 2; i++ {
+				if r2, e2 := timeBatch(name, iters, f); e2 < elapsed {
+					r, elapsed = r2, e2
+				}
 			}
+			return r
 		}
 		iters *= 4
 	}
+}
+
+// timeBatch runs one timed batch of iters calls to f and reports the
+// per-operation result together with the raw batch duration.
+func timeBatch(name string, iters int, f func()) (benchResult, time.Duration) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	var snapBefore obs.Snap
+	if *metrics {
+		snapBefore = obs.Default().Snap()
+	}
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := benchResult{
+		Name:     name,
+		NsOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}
+	if *metrics {
+		r.Metrics = perOpDeltas(obs.Default().Snap().Diff(snapBefore), iters)
+	}
+	return r, elapsed
+}
+
+// perOpDeltas divides each counter delta by the iteration count, so the
+// "metrics" object reads in the same per-operation units as ns_op (e.g.
+// eval.fixpoints = 1 for a measurement whose op runs one fixpoint).
+// Counters that do not divide evenly are rounded down; anything that
+// rounds to zero is dropped rather than reported as a misleading 0.
+func perOpDeltas(d obs.Snap, iters int) map[string]int64 {
+	out := make(map[string]int64, len(d))
+	for name, v := range d {
+		if per := v / int64(iters); per != 0 {
+			out[name] = per
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // benchJSON emits the B1–B5 and B7 measurements as a JSON array. One

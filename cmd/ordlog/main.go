@@ -26,6 +26,11 @@
 //	                   an "interrupted" error
 //	-json              machine-readable output
 //	-stats             print grounding statistics
+//	-metrics-addr a    serve /debug/metrics (engine counters as JSON) and
+//	                   net/http/pprof on this address (e.g. localhost:6060,
+//	                   :0 for an ephemeral port; printed to stderr)
+//	-metrics-hold d    keep the metrics listener up this long after the run
+//	                   finishes (so one-shot runs can be scraped; default 0)
 //	-i                 interactive shell (see internal/repl)
 //	-analyze           static diagnostics (internal/analyze) and exit
 //	-dot order|deps    GraphViz of the component lattice or predicate deps
@@ -36,13 +41,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	ordlog "repro"
 	"repro/internal/analyze"
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/ground"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/repl"
 	"repro/internal/transform"
@@ -61,10 +71,18 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for grounding + evaluation (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit models and answers as JSON")
 	stats := flag.Bool("stats", false, "print grounding statistics")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/metrics and net/http/pprof on this address")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics listener up this long after the run finishes")
 	interactive := flag.Bool("i", false, "interactive shell (optionally preloading the program)")
 	analyzeFlag := flag.Bool("analyze", false, "print static diagnostics and exit")
 	dot := flag.String("dot", "", "emit GraphViz and exit: order | deps")
 	flag.Parse()
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "ordlog: -metrics-addr:", err)
+			os.Exit(1)
+		}
+	}
 	if (*analyzeFlag || *dot != "") && flag.NArg() == 1 {
 		if err := runAnalysis(flag.Arg(0), *analyzeFlag, *dot); err != nil {
 			fmt.Fprintln(os.Stderr, "ordlog:", err)
@@ -91,10 +109,41 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *jsonOut, *stats); err != nil {
+	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *jsonOut, *stats)
+	if *metricsAddr != "" && *metricsHold > 0 {
+		fmt.Fprintf(os.Stderr, "ordlog: holding metrics listener for %s\n", *metricsHold)
+		time.Sleep(*metricsHold)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ordlog:", err)
 		os.Exit(1)
 	}
+}
+
+// serveMetrics starts the observability endpoint in the background: engine
+// counters as flat JSON at /debug/metrics (see internal/obs) plus the
+// standard pprof handlers. The listener is bound synchronously so the
+// resolved address (":0" picks an ephemeral port) can be printed before any
+// engine work starts; the server itself lives for the rest of the process.
+func serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.Default().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "ordlog: metrics on http://%s/debug/metrics\n", ln.Addr())
+	go func() {
+		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
+			fmt.Fprintln(os.Stderr, "ordlog: metrics server:", err)
+		}
+	}()
+	return nil
 }
 
 func runAnalysis(path string, diags bool, dot string) error {

@@ -63,6 +63,12 @@ func (h *Histogram) Merge(other *Histogram) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n }
 
+// Min returns the smallest observed latency (0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observed latency (0 when empty).
+func (h *Histogram) Max() time.Duration { return h.max }
+
 // Mean returns the mean latency (0 when empty).
 func (h *Histogram) Mean() time.Duration {
 	if h.n == 0 {
@@ -72,7 +78,9 @@ func (h *Histogram) Mean() time.Duration {
 }
 
 // Quantile returns an upper bound on the q-quantile latency (q in [0,1])
-// from the bucket boundaries.
+// from the bucket boundaries, clamped to the observed maximum — the
+// quantile of the final occupied bucket is bounded by Max(), not by the
+// bucket's nominal upper edge, so Quantile(q) <= Max() for all q.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.n == 0 {
 		return 0
@@ -82,14 +90,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for b, c := range h.counts {
 		seen += c
 		if seen > rank {
-			return bucketUpper(b)
+			if u := bucketUpper(b); u < h.max {
+				return u
+			}
+			return h.max
 		}
 	}
 	return h.max
 }
 
-// bucketUpper returns the exclusive upper boundary of bucket b: bucket 0
-// covers [0, 2µs), bucket b covers [1µs<<b, 1µs<<(b+1)).
+// bucketUpper returns the exclusive upper boundary of bucket b, matching
+// bucketOf: bucket 0 covers [0, 2µs) (sub-microsecond observations land
+// there too), bucket b>0 covers [1µs<<b, 1µs<<(b+1)), and the final
+// bucket is open-ended — its nominal boundary is a floor, which is why
+// Quantile clamps to the observed max.
 func bucketUpper(b int) time.Duration {
 	return time.Microsecond << uint(b+1)
 }

@@ -1,0 +1,84 @@
+package batch
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression test: Quantile must never report a latency above the observed
+// maximum. Before the clamp, a single observation pinned to a bucket's
+// lower edge (e.g. exactly 1µs<<b) made p99/p100 report the bucket's upper
+// edge — double the real maximum.
+func TestQuantileNeverExceedsMax(t *testing.T) {
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}
+
+	// Observations pinned to bucket edges: lower edges (1µs<<b), one tick
+	// below upper edges, and sub-microsecond values in bucket 0.
+	cases := [][]time.Duration{
+		{time.Microsecond},
+		{2 * time.Microsecond},
+		{4*time.Microsecond - time.Nanosecond},
+		{500 * time.Nanosecond},
+		{0},
+		{time.Microsecond, 2 * time.Microsecond, 4 * time.Microsecond, 8 * time.Microsecond},
+		{time.Millisecond, time.Millisecond, time.Millisecond},
+		{3 * time.Microsecond, 100 * time.Millisecond},
+		// Past the final bucket: the last bucket is open-ended, its nominal
+		// upper boundary is far below the observation.
+		{time.Microsecond << (numBuckets + 2)},
+	}
+	for _, obs := range cases {
+		var h Histogram
+		for _, d := range obs {
+			h.Observe(d)
+		}
+		for _, q := range quantiles {
+			if got := h.Quantile(q); got > h.Max() {
+				t.Errorf("obs=%v: Quantile(%v) = %v exceeds Max() = %v", obs, q, got, h.Max())
+			}
+		}
+	}
+}
+
+func TestQuantileSingleEdgeObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(8 * time.Microsecond) // lower edge of bucket 3
+	if got := h.Quantile(0.99); got != 8*time.Microsecond {
+		t.Errorf("p99 of single 8µs observation = %v, want 8µs", got)
+	}
+	if got := h.Quantile(0.5); got != 8*time.Microsecond {
+		t.Errorf("p50 of single 8µs observation = %v, want 8µs", got)
+	}
+}
+
+func TestMinMaxAccessors(t *testing.T) {
+	var h Histogram
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram: Min=%v Max=%v, want 0", h.Min(), h.Max())
+	}
+	h.Observe(3 * time.Microsecond)
+	h.Observe(9 * time.Millisecond)
+	if h.Min() != 3*time.Microsecond {
+		t.Errorf("Min = %v, want 3µs", h.Min())
+	}
+	if h.Max() != 9*time.Millisecond {
+		t.Errorf("Max = %v, want 9ms", h.Max())
+	}
+}
+
+// Quantile still reflects bucket boundaries below the final occupied
+// bucket: with observations spread over several buckets, low quantiles
+// report the (unclamped) boundary of an earlier bucket.
+func TestQuantileLowerBucketsUnclamped(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Second)
+	if got := h.Quantile(0.5); got != 2*time.Microsecond {
+		t.Errorf("p50 = %v, want 2µs (bucket 0 upper edge)", got)
+	}
+	if got := h.Quantile(1.0); got != time.Second {
+		t.Errorf("p100 = %v, want 1s (clamped to max)", got)
+	}
+}

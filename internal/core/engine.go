@@ -16,6 +16,7 @@ import (
 	"repro/internal/ground"
 	"repro/internal/interp"
 	"repro/internal/interrupt"
+	"repro/internal/obs"
 	"repro/internal/stable"
 )
 
@@ -80,13 +81,18 @@ func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config, opts .
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{src: p, cfg: cfg, trace: &tracer{w: cfg.Trace}}
+	e := &Engine{src: p, cfg: cfg, trace: newTracer(cfg.Trace)}
 	gp, err := ground.GroundCtx(ctx, p, e.groundOpts())
 	if err != nil {
 		return nil, err
 	}
 	e.current.Store(&Snapshot{eng: e, gp: gp, rules: gp.Rules, comps: make(map[int]*compState)})
-	e.trace.printf("ground: rules=%d atoms=%d", len(gp.Rules), gp.Tab.Len())
+	if obs.On() {
+		mVersion.Set(0)
+	}
+	if e.trace.Enabled() {
+		e.trace.Emit(obs.E("ground", obs.F("rules", len(gp.Rules)), obs.F("atoms", gp.Tab.Len())))
+	}
 	return e, nil
 }
 

@@ -1,0 +1,46 @@
+package core
+
+import "repro/internal/obs"
+
+// Engine-layer metrics, resolved once from the process-global registry.
+// Update/memo paths run at most once per API call, so the per-call
+// enabled check plus a few atomic adds never touch an inner loop. The
+// per-reason fallback counters ("core.update.fallback.<reason>") are
+// looked up dynamically — regrounding is the rare path by design.
+var (
+	mUpdates         = obs.Default().Counter("core.updates")
+	mUpdatesIncr     = obs.Default().Counter("core.updates.incremental")
+	mUpdatesReground = obs.Default().Counter("core.updates.reground")
+	mVersion         = obs.Default().Gauge("core.snapshot.version")
+
+	mViewBuilds = obs.Default().Counter("core.view.builds")
+	mViewHits   = obs.Default().Counter("core.view.hits")
+
+	mLeastComputed = obs.Default().Counter("core.least.computed")
+	mLeastHits     = obs.Default().Counter("core.least.hits")
+	mLeastWaiters  = obs.Default().Counter("core.least.waiters")
+)
+
+// countFallback bumps both the total reground counter and the per-reason
+// labelled counter.
+func countFallback(reason string) {
+	if !obs.On() {
+		return
+	}
+	mUpdatesReground.Inc()
+	if reason == "" {
+		reason = "unspecified"
+	}
+	obs.Default().Counter("core.update.fallback." + reason).Inc()
+}
+
+// Metrics returns a point-in-time snapshot of the process-global metrics
+// registry: every engine-layer counter and gauge by dotted name. Diff two
+// snapshots (obs.Snap.Diff) to attribute counts to a span of work.
+func (e *Engine) Metrics() obs.Snap { return obs.Default().Snap() }
+
+// Metrics returns a point-in-time snapshot of the process-global metrics
+// registry; see Engine.Metrics. Snapshots of the fact base are immutable
+// but the metrics registry is live — the values reflect all engine work up
+// to the call, not the state when the snapshot was published.
+func (s *Snapshot) Metrics() obs.Snap { return obs.Default().Snap() }

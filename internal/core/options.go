@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ground"
+	"repro/internal/obs"
 )
 
 // Config configures an Engine.
@@ -95,17 +97,35 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// traceMu serialises Trace writes across all goroutines of one engine.
+// tracer renders structured obs.Event values to the engine's Trace writer
+// in the historical line format ("name: k=v k=v"). The mutex serialises
+// writes across all goroutines of one engine; the enabled flag is an
+// atomic so hot paths can skip event construction — fields, boxing and
+// all — with a single atomic load when no writer is configured.
 type tracer struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	enabled atomic.Bool
 }
 
-func (t *tracer) printf(format string, args ...any) {
-	if t == nil || t.w == nil {
+func newTracer(w io.Writer) *tracer {
+	t := &tracer{w: w}
+	t.enabled.Store(w != nil)
+	return t
+}
+
+// Enabled reports whether Emit would write anything. Call sites gate
+// event construction on it so a nil-trace engine pays one atomic load
+// and zero allocations per would-be event.
+func (t *tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Emit writes one event line. Events are constructed by the caller only
+// after an Enabled check.
+func (t *tracer) Emit(ev obs.Event) {
+	if !t.Enabled() {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, format+"\n", args...)
+	fmt.Fprintf(t.w, "%s\n", ev.String())
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ground"
 	"repro/internal/interp"
 	"repro/internal/interrupt"
+	"repro/internal/obs"
 	"repro/internal/proof"
 	"repro/internal/stable"
 )
@@ -168,7 +169,18 @@ func (s *Snapshot) View(comp string) (*eval.View, error) {
 
 func (s *Snapshot) viewAt(i int) *eval.View {
 	st := s.comp(i)
-	st.viewOnce.Do(func() { st.view = eval.NewViewOf(s.gp, i, s.rules, s.dead) })
+	built := false
+	st.viewOnce.Do(func() {
+		st.view = eval.NewViewOf(s.gp, i, s.rules, s.dead)
+		built = true
+	})
+	if obs.On() {
+		if built {
+			mViewBuilds.Inc()
+		} else {
+			mViewHits.Inc()
+		}
+	}
 	return st.view
 }
 
@@ -187,11 +199,19 @@ func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, erro
 	}
 	st := s.comp(i)
 	ll := &st.least
+	// Singleflight accounting: the goroutine that runs the fixpoint counts
+	// one computation, a caller that parks on someone else's run counts one
+	// waiter (once), and a caller that finds the result already cached —
+	// never having started or waited — counts one hit.
+	started, waited := false, false
 	for {
 		ll.mu.Lock()
 		if ll.ready {
 			m, err := ll.m, ll.err
 			ll.mu.Unlock()
+			if obs.On() && !started && !waited {
+				mLeastHits.Inc()
+			}
 			return m, err
 		}
 		if err := ctx.Err(); err != nil {
@@ -199,6 +219,7 @@ func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, erro
 			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: err}
 		}
 		if ll.done == nil {
+			started = true
 			// Start the computation on a context detached from any one
 			// caller: its lifetime is "some waiter still wants this".
 			runCtx, cancel := context.WithCancel(context.Background())
@@ -221,7 +242,14 @@ func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, erro
 						ll.m = &Model{view: v, in: in}
 					}
 					ll.done, ll.cancel = nil, nil
-					s.eng.trace.printf("least: comp=%s version=%d", s.gp.Src.Components[i].Name, s.version)
+					if obs.On() {
+						mLeastComputed.Inc()
+					}
+					if s.eng.trace.Enabled() {
+						s.eng.trace.Emit(obs.E("least",
+							obs.F("comp", s.gp.Src.Components[i].Name),
+							obs.F("version", s.version)))
+					}
 				}
 				ll.mu.Unlock()
 				cancel()
@@ -232,6 +260,10 @@ func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, erro
 		cancel := ll.cancel
 		ll.waiters++
 		ll.mu.Unlock()
+		if obs.On() && !started && !waited {
+			mLeastWaiters.Inc()
+		}
+		waited = true
 
 		select {
 		case <-done:
@@ -441,24 +473,57 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 		overlay[factKey{comp: ci, lit: f.String()}] = !retract
 	}
 
-	if parent.gp.Incremental() {
-		child, err := e.applyIncremental(ctx, parent, ci, ops, retract, overlay, newLog)
-		if err == nil {
-			e.current.Store(child)
-			e.trace.printf("update: v%d -> v%d comp=%s %s=%d mode=incremental", parent.version, child.version, parent.gp.Src.Components[ci].Name, verb, len(ops))
-			return child, nil
+	// Always try the incremental path: when the ground program lacks usable
+	// incremental state the delta layer refuses immediately with a typed
+	// *ground.RegroundError ("full-mode", "poisoned"), so every fallback —
+	// inherent or tuning — carries its reason into the trace and counters.
+	child, err := e.applyIncremental(ctx, parent, ci, ops, retract, overlay, newLog)
+	if err == nil {
+		e.current.Store(child)
+		if obs.On() {
+			mUpdates.Inc()
+			mUpdatesIncr.Inc()
+			mVersion.Set(int64(child.version))
 		}
-		if !errors.Is(err, ground.ErrNeedsReground) {
-			return nil, err
+		if e.trace.Enabled() {
+			e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), "incremental", ""))
 		}
+		return child, nil
 	}
-	child, err := e.reground(ctx, parent, newLog, overlay)
+	if !errors.Is(err, ground.ErrNeedsReground) {
+		return nil, err
+	}
+	reason := ground.RegroundReason(err)
+	child, err = e.reground(ctx, parent, newLog, overlay)
 	if err != nil {
 		return nil, err
 	}
 	e.current.Store(child)
-	e.trace.printf("update: v%d -> v%d comp=%s %s=%d mode=reground", parent.version, child.version, parent.gp.Src.Components[ci].Name, verb, len(ops))
+	if obs.On() {
+		mUpdates.Inc()
+		mVersion.Set(int64(child.version))
+	}
+	countFallback(reason)
+	if e.trace.Enabled() {
+		e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), "reground", reason))
+	}
 	return child, nil
+}
+
+// updateEvent builds the "update:" trace event in the historical line
+// format, with the fallback reason appended when the incremental path
+// bailed.
+func (e *Engine) updateEvent(parent, child *Snapshot, ci int, verb string, n int, mode, reason string) obs.Event {
+	fields := []obs.Field{
+		obs.F("", fmt.Sprintf("v%d -> v%d", parent.version, child.version)),
+		obs.F("comp", parent.gp.Src.Components[ci].Name),
+		obs.F(verb, n),
+		obs.F("mode", mode),
+	}
+	if reason != "" {
+		fields = append(fields, obs.F("reason", reason))
+	}
+	return obs.Event{Name: "update", Fields: fields}
 }
 
 // applyIncremental applies the update through the grounder's in-place

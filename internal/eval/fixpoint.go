@@ -3,9 +3,11 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/interp"
 	"repro/internal/interrupt"
+	"repro/internal/obs"
 )
 
 // checkStride is the cooperative-cancellation polling interval of the
@@ -15,6 +17,11 @@ import (
 // within milliseconds on any real program, large enough to keep the poll
 // off the profile.
 const checkStride = 256
+
+// kindScratch recycles the per-kind competitor-count scratch the fixpoint
+// uses for its metrics bookkeeping, so an enabled registry does not add a
+// per-run allocation to evaluation.
+var kindScratch = sync.Pool{New: func() any { return new([]int32) }}
 
 // VOnce applies the ordered immediate transformation V once (Definition 4):
 // it returns the set of head literals of rules that are applicable and
@@ -45,10 +52,12 @@ func (v *View) LeastModelNaive() (*interp.Interp, error) {
 // naive round.
 func (v *View) LeastModelNaiveCtx(ctx context.Context) (*interp.Interp, error) {
 	in := v.NewInterp()
+	rounds := int64(0)
 	for {
 		if err := interrupt.Check(ctx, "eval: naive fixpoint round"); err != nil {
 			return nil, err
 		}
+		rounds++
 		next, err := v.VOnce(in)
 		if err != nil {
 			return nil, err
@@ -56,6 +65,11 @@ func (v *View) LeastModelNaiveCtx(ctx context.Context) (*interp.Interp, error) {
 		// V is monotone (Lemma 1), so iterating from ∅ the stages grow;
 		// union keeps the code robust even on a non-inflationary step.
 		if next.SubsetOf(in) {
+			if obs.On() {
+				mNaiveFixpoints.Inc()
+				mNaiveRounds.Add(rounds)
+				v.countStatuses(in)
+			}
 			return in, nil
 		}
 		if !next.UnionWith(in) {
@@ -122,13 +136,51 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 	// Each queued literal is a newly derived head, so n bounds the queue.
 	queue := make([]interp.Lit, 0, n)
 
+	// track latches the metrics registry's enabled state for the whole run
+	// so bookkeeping and flush agree even if it is toggled mid-run; keep
+	// adds the caller's explicit stats request. All Definition 2 status
+	// bookkeeping hides inside branches the loop takes at most once per
+	// rule (body became satisfied, rule became blocked), so a disabled
+	// registry costs the per-edge hot paths nothing: nbOver/nbDef are the
+	// per-kind non-blocked competitor counts (maintained only when a rule
+	// blocks, off the combined unblocked counter the fire test uses),
+	// liveOver/liveDef count the rules still holding a non-blocked
+	// overruler resp. defeater, and satBlocked lists the rules whose body
+	// was satisfied while some competitor was live — the only candidates
+	// for applied-without-firing.
+	var st FixpointStats
+	track := obs.On()
+	keep := track || stats != nil
+	var nbOver, nbDef, satBlocked []int32
+	liveOver, liveDef := 0, 0
+	if track && v.liveOverInit+v.liveDefInit > 0 {
+		// Pooled scratch: the copies overwrite whatever a previous run
+		// left, and a kind the view has no edges of keeps its stale half —
+		// the matching threat lists are all empty, so it is never read.
+		scratch := kindScratch.Get().(*[]int32)
+		defer kindScratch.Put(scratch)
+		if cap(*scratch) < 2*n {
+			*scratch = make([]int32, 2*n)
+		}
+		kind := (*scratch)[:2*n]
+		nbOver, nbDef = kind[:n], kind[n:]
+		if v.liveOverInit > 0 {
+			copy(nbOver, v.overInit)
+			liveOver = v.liveOverInit
+		}
+		if v.liveDefInit > 0 {
+			copy(nbDef, v.defInit)
+			liveDef = v.liveDefInit
+		}
+	}
+
 	fire := func(r int) error {
 		if fired[r] {
 			return nil
 		}
 		fired[r] = true
-		if stats != nil {
-			stats.Fired++
+		if keep {
+			st.Fired++
 		}
 		h := v.heads[r]
 		if in.HasLit(h) {
@@ -137,8 +189,8 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 		if !in.AddLit(h) {
 			return fmt.Errorf("eval: least-model fixpoint derived inconsistent pair on %s", v.G.Tab.LitString(h))
 		}
-		if stats != nil {
-			stats.Derived++
+		if keep {
+			st.Derived++
 		}
 		queue = append(queue, h)
 		return nil
@@ -153,6 +205,8 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 			if err := fire(r); err != nil {
 				return nil, err
 			}
+		} else if track && unsat[r] == 0 {
+			satBlocked = append(satBlocked, int32(r))
 		}
 	}
 	pops := 0
@@ -167,9 +221,13 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 		// The new literal satisfies body occurrences of itself...
 		for _, r := range v.bodyOcc(lit) {
 			unsat[r]--
-			if unsat[r] == 0 && unblocked[r] == 0 {
-				if err := fire(int(r)); err != nil {
-					return nil, err
+			if unsat[r] == 0 {
+				if unblocked[r] == 0 {
+					if err := fire(int(r)); err != nil {
+						return nil, err
+					}
+				} else if track {
+					satBlocked = append(satBlocked, r)
 				}
 			}
 		}
@@ -180,8 +238,24 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 				continue
 			}
 			blocked[r] = true
-			if stats != nil {
-				stats.BlockEvents++
+			if keep {
+				st.BlockEvents++
+			}
+			if track {
+				// Per-kind live-competitor maintenance, once per rule
+				// that blocks: each edge decrement reaches zero at most
+				// once, which is exactly when its target stops being
+				// overruled resp. defeated.
+				for _, s := range v.threatOver[r] {
+					if nbOver[s]--; nbOver[s] == 0 {
+						liveOver--
+					}
+				}
+				for _, s := range v.threatDef[r] {
+					if nbDef[s]--; nbDef[s] == 0 {
+						liveDef--
+					}
+				}
 			}
 			for _, s := range v.threatened[r] {
 				unblocked[s]--
@@ -192,6 +266,38 @@ func (v *View) leastModel(ctx context.Context, stats *FixpointStats) (*interp.In
 				}
 			}
 		}
+	}
+	if stats != nil {
+		*stats = st
+	}
+	if track {
+		// Definition 2 status counts w.r.t. the final model, assembled
+		// from the run's own transition bookkeeping with no per-rule
+		// postpass. A fired rule is applied (fire implies unsat == 0 and
+		// puts the head in the model) and fires at most once, so st.Fired
+		// counts those; a non-fired applied rule must have had its body
+		// satisfied while a competitor was still live — with all of them
+		// blocked it would have fired — so satBlocked holds every other
+		// candidate and only the head-membership check remains. The
+		// blocked flag flips exactly once per blocked rule, making
+		// st.BlockEvents the blocked count, and liveOver/liveDef are the
+		// rules still holding a non-blocked overruler resp. defeater —
+		// Definition 2's overruled and defeated, exactly.
+		applied := int64(st.Fired)
+		for _, r := range satBlocked {
+			if !fired[r] && in.HasLit(v.heads[r]) {
+				applied++
+			}
+		}
+		mFixpoints.Inc()
+		mFixpointOps.Add(int64(pops))
+		mFired.Add(int64(st.Fired))
+		mDerived.Add(int64(st.Derived))
+		mBlockEvents.Add(int64(st.BlockEvents))
+		mRulesApplied.Add(applied)
+		mRulesBlocked.Add(int64(st.BlockEvents))
+		mRulesOverruled.Add(int64(liveOver))
+		mRulesDefeated.Add(int64(liveDef))
 	}
 	return in, nil
 }

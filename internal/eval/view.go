@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ground"
 	"repro/internal/interp"
+	"repro/internal/obs"
 )
 
 // View is a grounded ordered program as seen from one target component C:
@@ -24,9 +25,9 @@ import (
 // general components can do neither.
 //
 // Concurrency invariant: every index a View holds — heads, bodies, comps,
-// srcs, overrulers, defeaters, occOff/occ, headOf, headAtom, threatened —
-// is
-// built once inside NewView and never mutated afterwards (construct-once/
+// srcs, overrulers, defeaters, occOff/occ, headOf, headAtom, threatened,
+// threatOver/threatDef, overInit/defInit — is built once inside NewView and
+// never mutated afterwards (construct-once/
 // read-many). A *View is therefore safe for unsynchronised sharing across
 // goroutines; all evaluation methods (VOnce, LeastModel, TEnabled,
 // IsModel, the Definition 2 status checks) allocate their mutable state
@@ -52,9 +53,22 @@ type View struct {
 	occ      []int32
 	headOf   map[interp.Lit][]int32
 	headAtom map[interp.AtomID][]int32
-	// threatened[r] lists the rules s that have r among their overrulers
-	// or defeaters (the reverse competitor relation).
+	// threatened[r] lists the rules that have r among their competitors
+	// (the reverse of overrulers/defeaters), so blocking r can decrement
+	// their unblocked-competitor counters.
 	threatened [][]int32
+	// threatOver and threatDef split threatened by competitor kind. The
+	// fixpoint worklist only walks the combined index; the split ones feed
+	// the metrics bookkeeping that maintains per-kind non-blocked counts,
+	// seeded from overInit/defInit (initial per-rule overruler/defeater
+	// counts) and liveOverInit/liveDefInit (how many rules start with at
+	// least one overruler resp. defeater).
+	threatOver   [][]int32
+	threatDef    [][]int32
+	overInit     []int32
+	defInit      []int32
+	liveOverInit int
+	liveDefInit  int
 }
 
 // NewView builds the view of g from the component at position comp, over
@@ -126,6 +140,8 @@ func NewViewOf(g *ground.Program, comp int, rules []ground.Rule, dead map[int32]
 	v.overrulers = make([][]int32, n)
 	v.defeaters = make([][]int32, n)
 	v.threatened = make([][]int32, n)
+	v.threatOver = make([][]int32, n)
+	v.threatDef = make([][]int32, n)
 	for r := 0; r < n; r++ {
 		for _, o := range v.headOf[v.heads[r].Complement()] {
 			cr, co := int(v.comps[r]), int(v.comps[o])
@@ -133,12 +149,29 @@ func NewViewOf(g *ground.Program, comp int, rules []ground.Rule, dead map[int32]
 			case v.G.Src.Less(co, cr):
 				v.overrulers[r] = append(v.overrulers[r], o)
 				v.threatened[o] = append(v.threatened[o], int32(r))
+				v.threatOver[o] = append(v.threatOver[o], int32(r))
 			case !v.G.Src.Less(cr, co):
 				// Same component or incomparable: defeater.
 				v.defeaters[r] = append(v.defeaters[r], o)
 				v.threatened[o] = append(v.threatened[o], int32(r))
+				v.threatDef[o] = append(v.threatDef[o], int32(r))
 			}
 		}
+	}
+	v.overInit = make([]int32, n)
+	v.defInit = make([]int32, n)
+	for r := 0; r < n; r++ {
+		v.overInit[r] = int32(len(v.overrulers[r]))
+		v.defInit[r] = int32(len(v.defeaters[r]))
+		if v.overInit[r] > 0 {
+			v.liveOverInit++
+		}
+		if v.defInit[r] > 0 {
+			v.liveDefInit++
+		}
+	}
+	if obs.On() {
+		mViewsBuilt.Inc()
 	}
 	return v
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/unify"
 )
@@ -17,7 +18,50 @@ import (
 // fact assertions, retractions of facts the EDB/CWA simplification
 // depended on, universe growth under function symbols, and updates against
 // full-mode or poisoned ground programs all take this path.
+//
+// Fallback errors are returned as *RegroundError values that unwrap to
+// this sentinel, so errors.Is(err, ErrNeedsReground) keeps matching while
+// the concrete value names the cause.
 var ErrNeedsReground = errors.New("ground: update requires regrounding")
+
+// RegroundError is the concrete fallback error: ErrNeedsReground plus the
+// reason the incremental path bailed. Reasons are short stable slugs
+// ("negative-fact", "compound-args", "new-constant", "edb-retract",
+// "universal-fact", "last-constant", "full-mode", "poisoned") usable as
+// metric labels.
+type RegroundError struct{ Reason string }
+
+func (e *RegroundError) Error() string {
+	return ErrNeedsReground.Error() + " (" + e.Reason + ")"
+}
+
+// Unwrap makes errors.Is(err, ErrNeedsReground) hold.
+func (e *RegroundError) Unwrap() error { return ErrNeedsReground }
+
+// needsReground builds the reason-tagged fallback error.
+func needsReground(reason string) error { return &RegroundError{Reason: reason} }
+
+// RegroundReason extracts the fallback reason from an update error: the
+// RegroundError's reason, "unspecified" for a bare ErrNeedsReground, and
+// "" for anything else.
+func RegroundReason(err error) string {
+	var re *RegroundError
+	if errors.As(err, &re) {
+		return re.Reason
+	}
+	if errors.Is(err, ErrNeedsReground) {
+		return "unspecified"
+	}
+	return ""
+}
+
+// incrReason names why the program has no usable incremental state.
+func (gp *Program) incrReason() error {
+	if gp.inc == nil {
+		return needsReground("full-mode")
+	}
+	return needsReground("poisoned")
+}
 
 // Delta describes the effect of one successful in-place update on the
 // ground program's append-only rule list.
@@ -58,7 +102,7 @@ func (gp *Program) Incremental() bool { return gp.inc != nil && !gp.inc.poisoned
 func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Literal) (*Delta, error) {
 	g := gp.inc
 	if g == nil || g.poisoned {
-		return nil, ErrNeedsReground
+		return nil, gp.incrReason()
 	}
 	if comp < 0 || comp >= len(gp.Src.Components) {
 		return nil, fmt.Errorf("ground: component index %d out of range", comp)
@@ -73,11 +117,11 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 			return nil, fmt.Errorf("ground: assert of non-ground fact %s", f)
 		}
 		if f.Neg {
-			return nil, ErrNeedsReground
+			return nil, needsReground("negative-fact")
 		}
 		for _, t := range f.Atom.Args {
 			if _, isCompound := t.(ast.Compound); isCompound {
-				return nil, ErrNeedsReground
+				return nil, needsReground("compound-args")
 			}
 			if id, ok := tt.Lookup(t); ok && g.inUniverse[id] {
 				continue
@@ -93,7 +137,7 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 			// A fresh constant changes the functor closure, or replaces the
 			// synthetic u0 fallback constant: old universe + constant is not
 			// the universe a rebuild would compute.
-			return nil, ErrNeedsReground
+			return nil, needsReground("new-constant")
 		}
 		if len(g.uni)+len(newConsts) > g.opts.MaxUniverse {
 			return nil, &ErrBudget{"universe", g.opts.MaxUniverse}
@@ -177,6 +221,7 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 	// bindings, so everything reruns; otherwise only EDB-joined competitor
 	// bodies can produce new instances for pre-existing targets, and those
 	// are covered delta-wise from the genuinely new facts.
+	preComp := len(g.rules)
 	grown := g.registerTargets(d.OldLen)
 	if len(newConsts) > 0 {
 		for _, tg := range g.targets {
@@ -210,6 +255,11 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 	gp.Rules = g.rules
 	gp.Universe = g.uni
 	d.NewLen = len(g.rules)
+	if obs.On() {
+		mDeltaAsserts.Inc()
+		mDeltaAssertInst.Add(int64(d.NewLen - d.OldLen))
+		mCompetitorClosure.Add(int64(len(g.rules) - preComp))
+	}
 	return d, nil
 }
 
@@ -232,7 +282,7 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) {
 	g := gp.inc
 	if g == nil || g.poisoned {
-		return nil, ErrNeedsReground
+		return nil, gp.incrReason()
 	}
 	if comp < 0 || comp >= len(gp.Src.Components) {
 		return nil, fmt.Errorf("ground: component index %d out of range", comp)
@@ -256,7 +306,7 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 			// Grounding dropped competitor instances it proved blocked by
 			// this very fact; removing it could resurrect instances that
 			// were never materialised.
-			return nil, ErrNeedsReground
+			return nil, needsReground("edb-retract")
 		}
 		for _, t := range f.Atom.Args {
 			if _, isCompound := t.(ast.Compound); isCompound {
@@ -264,7 +314,7 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 				// count below would miss, and removing a functor's last
 				// occurrence shrinks the rebuild's functor closure, which
 				// constRefs does not track at all.
-				return nil, ErrNeedsReground
+				return nil, needsReground("compound-args")
 			}
 		}
 		id, ok := g.tab.Lookup(f.Atom)
@@ -300,7 +350,7 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 			matched := unify.MatchAtoms(scratch, r.Head.Atom, f.Atom)
 			scratch.Undo(mark)
 			if matched {
-				return nil, ErrNeedsReground
+				return nil, needsReground("universal-fact")
 			}
 		}
 		r := ast.Fact(ast.Literal{Neg: f.Neg, Atom: g.tab.Atom(id)})
@@ -319,7 +369,7 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 			// Last occurrence of a constant: a rebuild's Herbrand universe
 			// would shrink, and with it the $dom enumerations behind both
 			// fireable and competitor instances.
-			return nil, ErrNeedsReground
+			return nil, needsReground("last-constant")
 		}
 	}
 	gone := make([]int32, 0, len(hits))
@@ -340,6 +390,10 @@ func (gp *Program) RetractFacts(comp int, facts []ast.Literal) ([]int32, error) 
 				}
 			}
 		}
+	}
+	if obs.On() {
+		mDeltaRetracts.Inc()
+		mDeltaRetractInst.Add(int64(len(gone)))
 	}
 	return gone, nil
 }

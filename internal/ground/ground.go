@@ -11,6 +11,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/interp"
 	"repro/internal/interrupt"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/term"
 	"repro/internal/unify"
@@ -185,6 +186,11 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 		gp.inc = g
 		g.ctx = nil // updates carry their own context
 	}
+	if obs.On() {
+		mGroundRuns.Inc()
+		mGroundInstances.Add(int64(len(gp.Rules)))
+		mCompetitorClosure.Add(int64(g.compInstances))
+	}
 	return gp, nil
 }
 
@@ -203,6 +209,9 @@ type grounder struct {
 	// (a single rule can expand to universe^vars instances, so per-stratum
 	// checkpoints alone would not bound the interruption latency).
 	emitted int
+	// compInstances counts the instances the competitor pass appended —
+	// the competitor-closure size, flushed to metrics when the run ends.
+	compInstances int
 	// factComps maps ground-fact atoms — keyed by their packed interned
 	// term ids (predicate symbol id then argument ids) — to the components
 	// asserting them; built by predShapes for the competitor pass.

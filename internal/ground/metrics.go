@@ -1,0 +1,17 @@
+package ground
+
+import "repro/internal/obs"
+
+// Grounding metrics, resolved once from the process-global registry. Hot
+// paths never touch these: counts accumulate in the grounder (or in
+// locals) and flush with a handful of atomic adds when a grounding run or
+// delta update completes, gated on obs.On().
+var (
+	mGroundRuns        = obs.Default().Counter("ground.runs")
+	mGroundInstances   = obs.Default().Counter("ground.instances")
+	mCompetitorClosure = obs.Default().Counter("ground.competitor_instances")
+	mDeltaAsserts      = obs.Default().Counter("ground.delta.asserts")
+	mDeltaAssertInst   = obs.Default().Counter("ground.delta.assert_instances")
+	mDeltaRetracts     = obs.Default().Counter("ground.delta.retracts")
+	mDeltaRetractInst  = obs.Default().Counter("ground.delta.retract_instances")
+)

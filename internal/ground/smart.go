@@ -121,6 +121,7 @@ func (g *grounder) smart() error {
 	g.targets = make(map[interp.Lit]*target)
 	g.targetsByPred = make(map[predSign][]*target)
 	grown := g.registerTargets(0)
+	preComp := len(g.rules)
 	for _, tg := range grown {
 		if err := g.check("ground: competitor pass"); err != nil {
 			return err
@@ -129,6 +130,7 @@ func (g *grounder) smart() error {
 			return err
 		}
 	}
+	g.compInstances += len(g.rules) - preComp
 	g.recordMarks()
 	return nil
 }

@@ -1,0 +1,28 @@
+package stable
+
+import "repro/internal/obs"
+
+// Enumeration metrics, resolved once from the process-global registry. The
+// DFS counts nodes in a plain per-search field (per-worker in the parallel
+// enumerator) and flushes once when the search returns, gated on obs.On().
+var (
+	mSearches        = obs.Default().Counter("stable.searches")
+	mNodes           = obs.Default().Counter("stable.nodes")
+	mLeaves          = obs.Default().Counter("stable.leaves")
+	mModels          = obs.Default().Counter("stable.models")
+	mBudgetExhausted = obs.Default().Counter("stable.budget_exhausted")
+)
+
+// flush publishes one finished search's counts.
+func flushSearch(nodes, leaves, models int64, overflow bool) {
+	if !obs.On() {
+		return
+	}
+	mSearches.Inc()
+	mNodes.Add(nodes)
+	mLeaves.Add(leaves)
+	mModels.Add(models)
+	if overflow {
+		mBudgetExhausted.Inc()
+	}
+}

@@ -107,6 +107,7 @@ func AssumptionFreeModelsParallelCtx(ctx context.Context, v *eval.View, opts Par
 		found       []*interp.Interp
 		foundN      atomic.Int64 // shared found-count for the MaxModels stop
 		leaves      atomic.Int64
+		nodesTotal  atomic.Int64 // nodes expanded across workers, for metrics
 		overflow    atomic.Bool
 		interrupted atomic.Bool
 		wg          sync.WaitGroup
@@ -122,6 +123,7 @@ func AssumptionFreeModelsParallelCtx(ctx context.Context, v *eval.View, opts Par
 				atoms: base.atoms, branchPos: base.branchPos,
 				ctxDone: ctxDone,
 			}
+			defer func() { nodesTotal.Add(st.nodes) }()
 			// Replace the per-state leaf counter with the shared one by
 			// sizing the local budget from the global remainder at leaf
 			// boundaries: simplest is to run subtree DFS with a local
@@ -183,6 +185,7 @@ func AssumptionFreeModelsParallelCtx(ctx context.Context, v *eval.View, opts Par
 		}()
 	}
 	wg.Wait()
+	flushSearch(nodesTotal.Load(), leaves.Load(), foundN.Load(), overflow.Load())
 	if interrupted.Load() {
 		return found, interrupt.Check(ctx, "stable: parallel three-valued DFS")
 	}

@@ -92,6 +92,7 @@ type enumState struct {
 	branchPos []int           // atom id -> index in atoms, or -1
 	cur       *interp.Interp
 	leaves    int
+	nodes     int64 // DFS nodes expanded, flushed to metrics at the end
 	found     []*interp.Interp
 	overflow  bool
 	// ctxDone is the enumeration context's Done channel (nil when the
@@ -136,6 +137,7 @@ func AssumptionFreeModelsCtx(ctx context.Context, v *eval.View, opts Options) ([
 	}
 	st.cur = least.Clone()
 	st.dfs(0)
+	flushSearch(st.nodes, int64(st.leaves), int64(len(st.found)), st.overflow)
 	if st.interrupted {
 		return st.found, interrupt.Check(ctx, "stable: three-valued DFS")
 	}
@@ -151,6 +153,7 @@ func (st *enumState) done() bool {
 }
 
 func (st *enumState) dfs(k int) {
+	st.nodes++
 	if st.ctxDone != nil && !st.interrupted {
 		select {
 		case <-st.ctxDone:

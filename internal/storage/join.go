@@ -12,6 +12,7 @@ package storage
 
 import (
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/term"
 	"repro/internal/unify"
 )
@@ -180,6 +181,18 @@ func Join(s *unify.Subst, lits []JoinLit, first int, plan bool, yield func() err
 		order = PlanJoin(s, lits, first)
 	} else {
 		order = sequentialOrder(n, first)
+	}
+	if obs.On() {
+		mJoins.Inc()
+		if plan {
+			mJoinsPlanned.Inc()
+			if !isSequential(order, first) {
+				mJoinsReordered.Inc()
+			}
+		}
+		if first >= 0 {
+			mJoinDeltaFirst.Inc()
+		}
 	}
 	// Per-level pattern buffers: interned id per position (term.None =
 	// unconstrained) plus the walked pattern term for non-ground positions.

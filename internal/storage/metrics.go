@@ -1,0 +1,35 @@
+package storage
+
+import "repro/internal/obs"
+
+// Join metrics, resolved once from the process-global registry. Join is
+// called once per rule join (not per tuple), so one enabled check and a
+// few atomic adds per call stay off the inner-loop profile.
+var (
+	mJoins          = obs.Default().Counter("storage.join.calls")
+	mJoinsPlanned   = obs.Default().Counter("storage.join.planned")
+	mJoinsReordered = obs.Default().Counter("storage.join.reordered")
+	mJoinDeltaFirst = obs.Default().Counter("storage.join.delta_first")
+)
+
+// isSequential reports whether order equals sequentialOrder(len(order),
+// first) — i.e. the planner kept the source order.
+func isSequential(order []int, first int) bool {
+	want := 0
+	for k, got := range order {
+		if k == 0 && first >= 0 && first < len(order) {
+			if got != first {
+				return false
+			}
+			continue
+		}
+		if want == first {
+			want++
+		}
+		if got != want {
+			return false
+		}
+		want++
+	}
+	return true
+}
