@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	olpbench [-exp all|figures|B1..B10] [-quick] [-parallel] [-workers n]
-//	         [-timeout d] [-json] [-metrics]
+//	olpbench [-exp all|figures|B1..B10|shards] [-quick] [-parallel]
+//	         [-workers n] [-shards list] [-timeout d] [-json] [-metrics]
 //
 // -json runs a fixed set of B1–B5, B7 and B10 measurements and emits a
 // JSON array of {name, ns_op, allocs_op} records to stdout — the same
 // shape the repo's BENCH_*.json trajectory files use — instead of the
 // tables.
+//
+// -shards takes a comma-separated list of shard counts (e.g. 1,2,4,8) and
+// adds the sharded grounding + fixpoint sweep: with -json one
+// B3GroundingSmart/n=16_m=48_shards=K and one B1FixpointSemiNaive/
+// anc_n=32_shards=K record per count K (shards=1 goes through the
+// sequential code paths and pins the zero-overhead baseline); without
+// -json the same sweep prints as a table (also reachable as -exp shards,
+// defaulting to 1,2,4,8).
 //
 // -metrics keeps the engine's internal/obs counters enabled and appends
 // their per-operation deltas to each -json record as a "metrics" object.
@@ -38,6 +46,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -63,10 +72,34 @@ var (
 	jsonOut  = flag.Bool("json", false, "emit machine-readable B1–B5/B7 measurements (ns/op, allocs/op) as JSON")
 	metrics  = flag.Bool("metrics", false, "keep engine counters enabled and append their per-op deltas to -json records")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	shardsF  = flag.String("shards", "", "comma-separated shard counts for the sharded grounding/fixpoint sweep (e.g. 1,2,4,8)")
 )
 
+// shardList parses -shards; the sweep defaults to 1,2,4,8 when the flag is
+// empty but the sweep itself was requested (-exp shards).
+func shardList() []int {
+	s := *shardsF
+	if s == "" {
+		s = "1,2,4,8"
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			fmt.Fprintf(os.Stderr, "olpbench: bad -shards entry %q\n", part)
+			os.Exit(1)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B9")
+	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B10 | shards")
 	flag.Parse()
 	if !*metrics {
 		obs.SetEnabled(false)
@@ -103,6 +136,12 @@ func main() {
 	run("B8", b8)
 	run("B9", b9)
 	run("B10", b10)
+	// The sharded sweep is opt-in under -exp all: it re-measures B3/B1
+	// workloads per shard count, so only run it when asked for by name or
+	// by an explicit -shards list.
+	if strings.EqualFold(*exp, "shards") || (*exp == "all" && *shardsF != "") {
+		bShards()
+	}
 }
 
 func header(title string) {
@@ -220,13 +259,6 @@ func perOpDeltas(d obs.Snap, iters int) map[string]int64 {
 // setup (grounding a view, building a classical program) happens outside
 // the measured op exactly as in the bench_test.go counterparts.
 func benchJSON() {
-	mixed := func(n, m int) []*ordlog.Rule {
-		rules := workload.AncestorChain(n)
-		for j := 0; j < m; j++ {
-			rules = append(rules, must(ordlog.ParseRule(fmt.Sprintf("item(d%d).", j))))
-		}
-		return rules
-	}
 	var results []benchResult
 	add := func(r benchResult) { results = append(results, r) }
 
@@ -252,7 +284,7 @@ func benchJSON() {
 	}
 	// B3: smart vs full grounding on the mixed-domain EDB.
 	{
-		ov := must(transform.OV("c", mixed(8, 24)))
+		ov := must(transform.OV("c", mixedRules(8, 24)))
 		add(measureOp("B3GroundingSmart/n=8_m=24", func() {
 			must(ground.Ground(ov, ground.DefaultOptions()))
 		}))
@@ -300,6 +332,26 @@ func benchJSON() {
 		add(measureOp("B7bPruneOff/cycle_n=8", func() {
 			must(stable.StableModels(v, stable.Options{NoPrune: true}))
 		}))
+	}
+
+	// Sharded sweep (only with -shards): grounding and fixpoint at each
+	// shard count over the largest B3/B1 workloads. shards=1 goes through
+	// the sequential code paths, pinning the zero-overhead baseline the
+	// acceptance gate compares allocs/op against.
+	if *shardsF != "" {
+		ov := must(transform.OV("c", mixedRules(16, 48)))
+		_, v := ovViewOf(workload.AncestorChain(32))
+		for _, k := range shardList() {
+			opts := ground.DefaultOptions()
+			opts.Shards = k
+			add(measureOp(fmt.Sprintf("B3GroundingSmart/n=16_m=48_shards=%d", k), func() {
+				must(ground.Ground(ov, opts))
+			}))
+			sh := eval.NewSharding(v, k)
+			add(measureOp(fmt.Sprintf("B1FixpointSemiNaive/anc_n=32_shards=%d", k), func() {
+				must(sh.LeastModel())
+			}))
+		}
 	}
 
 	// B10: incremental Update+requery vs reparse-and-rebuild. State
@@ -447,6 +499,16 @@ func coloredOf(src string) string {
 	return "colored: " + strings.Join(parts, " | ")
 }
 
+// mixedRules is the B3 workload: an ancestor chain of length n plus m
+// facts in an unrelated domain the relevance analysis should skip.
+func mixedRules(n, m int) []*ordlog.Rule {
+	rules := workload.AncestorChain(n)
+	for j := 0; j < m; j++ {
+		rules = append(rules, must(ordlog.ParseRule(fmt.Sprintf("item(d%d).", j))))
+	}
+	return rules
+}
+
 // ---------- B1 ----------
 
 func ovViewOf(rules []*ordlog.Rule) (*ground.Program, *eval.View) {
@@ -538,6 +600,37 @@ func b3() {
 		})
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%v\t%v\t%.1fx\n",
 			nm[0], nm[1], smartRules, fullRules, smart, full, float64(full)/float64(smart))
+	}
+	w.Flush()
+}
+
+// ---------- shards ----------
+
+// bShards sweeps the sharded grounder and sharded semi-naive fixpoint over
+// the -shards counts on the largest B3/B1 workloads. Speedups are relative
+// to the shards=1 row, which goes through the sequential code paths —
+// expect ~1.0x on a single-core host; the sweep still pins correctness and
+// the per-shard work-balance counters there.
+func bShards() {
+	header(fmt.Sprintf("Shards: parallel grounding & fixpoint scaling (GOMAXPROCS=%d, NumCPU=%d)",
+		runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	counts := shardList()
+	ov := must(transform.OV("c", mixedRules(16, 48)))
+	_, v := ovViewOf(workload.AncestorChain(32))
+	var gBase, fBase time.Duration
+	w := tw()
+	fmt.Fprintln(w, "shards\tground(n=16,m=48)\tspeedup\tfixpoint(anc n=32)\tspeedup")
+	for i, k := range counts {
+		opts := ground.DefaultOptions()
+		opts.Shards = k
+		gTime := timeIt(func() { must(ground.Ground(ov, opts)) })
+		sh := eval.NewSharding(v, k)
+		fTime := timeIt(func() { must(sh.LeastModel()) })
+		if i == 0 {
+			gBase, fBase = gTime, fTime
+		}
+		fmt.Fprintf(w, "%d\t%v\t%.2fx\t%v\t%.2fx\n",
+			k, gTime, float64(gBase)/float64(gTime), fTime, float64(fBase)/float64(fTime))
 	}
 	w.Flush()
 }

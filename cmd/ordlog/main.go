@@ -20,6 +20,9 @@
 //	-parallel n        answer the file's queries over a worker pool of n
 //	                   goroutines (0 = sequential, -1 = GOMAXPROCS); the
 //	                   least model per component is computed once and shared
+//	-shards n          shard grounding and least-model fixpoints over n
+//	                   parallel workers (0 or 1 = sequential); the results
+//	                   are identical either way
 //	-timeout d         wall-clock budget for grounding + evaluation (e.g.
 //	                   500ms, 2s; 0 = none). On expiry, enumeration prints
 //	                   whatever models were already found and exits 1 with
@@ -68,6 +71,7 @@ func main() {
 	prove := flag.String("prove", "", "ground literal to prove goal-directedly")
 	edb := flag.String("edb", "", "facts file merged into the target component before grounding")
 	parallel := flag.Int("parallel", 0, "answer queries over a worker pool (0 = sequential, -1 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "shard grounding and least-model fixpoints over n workers (0 or 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for grounding + evaluation (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit models and answers as JSON")
 	stats := flag.Bool("stats", false, "print grounding statistics")
@@ -109,7 +113,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *jsonOut, *stats)
+	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *shards, *jsonOut, *stats)
 	if *metricsAddr != "" && *metricsHold > 0 {
 		fmt.Fprintf(os.Stderr, "ordlog: holding metrics listener for %s\n", *metricsHold)
 		time.Sleep(*metricsHold)
@@ -189,7 +193,7 @@ func runREPL(args []string) error {
 	return repl.New(prog, core.Config{}, os.Stdout).Run(os.Stdin)
 }
 
-func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel int, jsonOut, stats bool) error {
+func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel, shards int, jsonOut, stats bool) error {
 	res, err := ordlog.ParseFile(path)
 	if err != nil {
 		return err
@@ -243,6 +247,10 @@ func run(ctx context.Context, path, component, semantics, models string, maxMode
 	default:
 		return fmt.Errorf("unknown -mode %q", mode)
 	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be >= 0")
+	}
+	cfg.Shards = shards
 
 	eng, err := ordlog.NewEngineCtx(ctx, prog, cfg)
 	if err != nil {

@@ -116,19 +116,28 @@ func (l Literal) Ground() bool { return l.Atom.Ground() }
 // Vars appends the variables of the literal to vs.
 func (l Literal) Vars(vs []Var) []Var { return l.Atom.Vars(vs) }
 
+// CompareAtoms orders ground atoms canonically: by predicate name, then
+// arity, then arguments.
+func CompareAtoms(a, b Atom) int {
+	if c := strings.Compare(a.Pred, b.Pred); c != 0 {
+		return c
+	}
+	if c := len(a.Args) - len(b.Args); c != 0 {
+		return c
+	}
+	for i := range a.Args {
+		if c := CompareTerms(a.Args[i], b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
 // CompareLiterals orders literals for canonical model printing: by
 // predicate name, then arity, then arguments, positives before negatives.
 func CompareLiterals(a, b Literal) int {
-	if c := strings.Compare(a.Atom.Pred, b.Atom.Pred); c != 0 {
+	if c := CompareAtoms(a.Atom, b.Atom); c != 0 {
 		return c
-	}
-	if c := len(a.Atom.Args) - len(b.Atom.Args); c != 0 {
-		return c
-	}
-	for i := range a.Atom.Args {
-		if c := CompareTerms(a.Atom.Args[i], b.Atom.Args[i]); c != 0 {
-			return c
-		}
 	}
 	switch {
 	case !a.Neg && b.Neg:

@@ -97,11 +97,15 @@ func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config, opts .
 }
 
 // groundOpts returns the grounding options in effect (zero Config.Ground
-// means ground.DefaultOptions).
+// means ground.DefaultOptions), with Config.Shards seeding Ground.Shards
+// unless the latter was set explicitly.
 func (e *Engine) groundOpts() ground.Options {
 	opts := e.cfg.Ground
 	if opts == (ground.Options{}) {
-		return ground.DefaultOptions()
+		opts = ground.DefaultOptions()
+	}
+	if opts.Shards == 0 {
+		opts.Shards = e.cfg.Shards
 	}
 	return opts
 }

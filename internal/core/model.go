@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/ast"
 	"repro/internal/eval"
 	"repro/internal/interp"
@@ -76,6 +78,13 @@ func (m *Model) Query(q ast.Query) []Binding {
 	for _, l := range m.in.Lits() {
 		a := tab.Atom(l.Atom())
 		index[key{a.Key(), l.Neg()}] = append(index[key{a.Key(), l.Neg()}], a)
+	}
+	// Lits() iterates in atom-id order, which depends on interning order —
+	// under sharded grounding that varies with goroutine scheduling. Sort
+	// each bucket canonically so the binding enumeration order (and with it
+	// CLI output) is identical across sequential and sharded runs.
+	for _, atoms := range index {
+		sort.Slice(atoms, func(i, j int) bool { return ast.CompareAtoms(atoms[i], atoms[j]) < 0 })
 	}
 	var out []Binding
 	seen := make(map[string]bool)

@@ -76,6 +76,11 @@ type compState struct {
 	viewOnce sync.Once
 	view     *eval.View
 
+	// sharding is the view's sharded-evaluation index, built once on first
+	// use when the engine is configured with Shards > 1 (nil otherwise).
+	shardOnce sync.Once
+	sharding  *eval.Sharding
+
 	least lazyLeast
 
 	proverSem chan struct{}
@@ -184,6 +189,18 @@ func (s *Snapshot) viewAt(i int) *eval.View {
 	return st.view
 }
 
+// shardingAt returns the component's sharded-evaluation index, built once
+// per component and version from the engine's configured shard count. Like
+// the view it wraps, the index is immutable after construction and shared
+// by every snapshot that shares the compState.
+func (s *Snapshot) shardingAt(i int, v *eval.View) *eval.Sharding {
+	st := s.comp(i)
+	st.shardOnce.Do(func() {
+		st.sharding = eval.NewSharding(v, s.eng.cfg.Shards)
+	})
+	return st.sharding
+}
+
 // LeastModel computes the least model of the program in the component as
 // of this snapshot (see Engine.LeastModel).
 func (s *Snapshot) LeastModel(comp string) (*Model, error) {
@@ -227,7 +244,13 @@ func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, erro
 			ll.done, ll.cancel = done, cancel
 			go func() {
 				v := s.viewAt(i)
-				in, err := v.LeastModelCtx(runCtx)
+				var in *interp.Interp
+				var err error
+				if s.eng.cfg.Shards > 1 {
+					in, err = s.shardingAt(i, v).LeastModelCtx(runCtx)
+				} else {
+					in, err = v.LeastModelCtx(runCtx)
+				}
 				ll.mu.Lock()
 				if err != nil && errors.Is(err, interrupt.ErrInterrupted) {
 					// Abandoned run: reset to idle rather than caching the

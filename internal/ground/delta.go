@@ -203,9 +203,8 @@ func (gp *Program) AssertFacts(ctx context.Context, comp int, facts []ast.Litera
 			return fail(err)
 		}
 		g.st.Rel(encKey(atom.Key(), false)).Insert(atom.Args)
-		if fk, ok := g.factKey(atom, true); ok {
-			g.factComps[fk] = append(g.factComps[fk], comp)
-		}
+		fk := g.factKey(atom)
+		g.factComps[fk] = append(g.factComps[fk], comp)
 		if g.edbShape(atom.Key()) != nil {
 			freshEDB = append(freshEDB, atom)
 		}
@@ -449,7 +448,7 @@ func (g *grounder) deltaCompetitors(freshEDB []ast.Atom, preMarks map[ast.PredKe
 							return err
 						}
 						d := deltaRestrict{key: k, lo: lo, pos: pos}
-						if err := g.emitCompetitors(g.st, g.shapes, cr.comp, cr.r, scratch, d); err != nil {
+						if err := g.emitCompetitors(g.st, g.shapes, cr.comp, cr.r, scratch, d, g.instantiate); err != nil {
 							scratch.Undo(mark)
 							return err
 						}

@@ -50,6 +50,13 @@ type Options struct {
 	// literals in source order instead (ablation switch; the ground program
 	// is unchanged, only join cost differs).
 	NoJoinPlanner bool
+	// Shards runs the smart-mode fireable and competitor passes on that
+	// many parallel workers, partitioning join enumeration and competitor
+	// targets by shard; <= 1 (the default) grounds sequentially. The
+	// retained instance set is identical either way — only the append order
+	// differs (grouped by shard instead of interleaved). Ignored by
+	// ModeFull.
+	Shards int
 }
 
 // DefaultOptions returns the default grounding configuration.
@@ -174,7 +181,11 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 	case ModeFull:
 		err = g.full()
 	case ModeSmart:
-		err = g.smart()
+		if opts.Shards > 1 {
+			err = g.smartParallel(opts.Shards)
+		} else {
+			err = g.smart()
+		}
 	default:
 		err = fmt.Errorf("ground: unknown mode %d", opts.Mode)
 	}
@@ -308,13 +319,9 @@ func (g *grounder) instantiate(comp int, r *ast.Rule, s *unify.Subst) error {
 		}
 	}
 	// Dedup on the interned encoding: component, head, body, packed as
-	// little-endian int32s into a string key.
-	g.keyBuf = g.keyBuf[:0]
-	g.keyBuf = appendInt32(g.keyBuf, int32(comp))
-	g.keyBuf = appendInt32(g.keyBuf, int32(head))
-	for _, l := range body {
-		g.keyBuf = appendInt32(g.keyBuf, int32(l))
-	}
+	// little-endian int32s into a string key (instanceKey, shared with the
+	// sharded workers and their merge).
+	g.keyBuf = instanceKey(g.keyBuf[:0], comp, head, body)
 	key := string(g.keyBuf)
 	if _, dup := g.seen[key]; dup {
 		return nil
@@ -341,34 +348,18 @@ func appendInt32(b []byte, v int32) []byte {
 }
 
 // factKey packs a ground atom into the factComps key: the interned
-// predicate-symbol id followed by the argument ids. With intern true
-// (predShapes) missing terms are created; with intern false
-// (blockedByVisibleFact) a term absent from the table proves the atom equals
-// no recorded fact head, so the second result is false and no map probe is
-// needed.
-func (g *grounder) factKey(a ast.Atom, intern bool) (string, bool) {
+// predicate-symbol id followed by the argument ids, interning terms the
+// table has not seen. (blockedByVisibleFact builds the same key
+// lookup-only over a stack buffer — it runs on sharded competitor workers
+// and must not share this scratch.)
+func (g *grounder) factKey(a ast.Atom) string {
 	tt := g.tab.TermTable()
 	g.keyBuf = g.keyBuf[:0]
-	if intern {
-		g.keyBuf = term.AppendID(g.keyBuf, tt.InternSym(a.Pred))
-		for _, t := range a.Args {
-			g.keyBuf = term.AppendID(g.keyBuf, tt.Intern(t))
-		}
-		return string(g.keyBuf), true
-	}
-	id, ok := tt.LookupSym(a.Pred)
-	if !ok {
-		return "", false
-	}
-	g.keyBuf = term.AppendID(g.keyBuf, id)
+	g.keyBuf = term.AppendID(g.keyBuf, tt.InternSym(a.Pred))
 	for _, t := range a.Args {
-		tid, ok := tt.Lookup(t)
-		if !ok {
-			return "", false
-		}
-		g.keyBuf = term.AppendID(g.keyBuf, tid)
+		g.keyBuf = term.AppendID(g.keyBuf, tt.Intern(t))
 	}
-	return string(g.keyBuf), true
+	return string(g.keyBuf)
 }
 
 // addConstRefs adds d to the occurrence count of every constant mentioned

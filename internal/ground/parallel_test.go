@@ -1,0 +1,251 @@
+// Differential tests pinning the parallel smart grounder to its sequential
+// twin: identical retained instance sets on a seeded corpus at every shard
+// count, cooperative cancellation with no partial program and no leaked
+// workers, and work-balance counters that account for every instance. Run
+// with -race: the fireable and competitor passes share the possible-atom
+// store and the interning tables across workers.
+package ground
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/interrupt"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// parallelCorpus mixes the random workload families the eval differential
+// suite uses; grounding is the subject here, so the non-ground Datalog
+// generators matter most.
+func parallelCorpus() []*ast.OrderedProgram {
+	var progs []*ast.OrderedProgram
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		progs = append(progs, workload.RandomOrdered(rng, 1+rng.Intn(3), workload.RandomConfig{
+			Atoms: 3 + rng.Intn(4), Rules: 5 + rng.Intn(8), MaxBody: 3,
+			NegHeads: true, NegBody: true,
+		}))
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1_000))
+		progs = append(progs, workload.RandomOrderedDatalog(rng, 1+rng.Intn(3), 2+rng.Intn(3)))
+	}
+	for depth := 1; depth <= 3; depth++ {
+		for props := 1; props <= 3; props++ {
+			progs = append(progs, workload.Inheritance(depth, props, 2))
+		}
+	}
+	return progs
+}
+
+// ruleSet renders a ground program as an order-free multiset fingerprint:
+// one "comp|rule" string per retained instance, sorted. Atom ids may differ
+// between sequential and parallel grounding (interning order is schedule
+// dependent); the rendered strings may not.
+func ruleSet(g *Program) []string {
+	out := make([]string, len(g.Rules))
+	for i := range g.Rules {
+		out[i] = fmt.Sprintf("%d|%s", g.Rules[i].Comp, g.RuleString(&g.Rules[i]))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelGroundingDifferential: on every corpus program the parallel
+// grounder retains exactly the sequential grounder's instance set at every
+// shard count.
+func TestParallelGroundingDifferential(t *testing.T) {
+	for pi, p := range parallelCorpus() {
+		seq, err := Ground(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("program %d: sequential: %v", pi, err)
+		}
+		want := ruleSet(seq)
+		for _, n := range []int{2, 3, 8} {
+			opts := DefaultOptions()
+			opts.Shards = n
+			par, err := Ground(p, opts)
+			if err != nil {
+				t.Fatalf("program %d shards %d: %v", pi, n, err)
+			}
+			got := ruleSet(par)
+			if len(got) != len(want) {
+				t.Fatalf("program %d shards %d: %d instances, sequential has %d\nprogram:\n%s",
+					pi, n, len(got), len(want), p)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("program %d shards %d: instance sets diverge at %q vs %q\nprogram:\n%s",
+						pi, n, got[i], want[i], p)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGroundingDeterministic: the parallel grounder is reproducible
+// run to run — not only the same set but the same Rules order, which the
+// deterministic merge (shard asc, worker asc, emission order) guarantees.
+func TestParallelGroundingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := workload.RandomOrderedDatalog(rng, 3, 4)
+	opts := DefaultOptions()
+	opts.Shards = 8
+	first, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run < 20; run++ {
+		g, err := Ground(p, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(g.Rules) != len(first.Rules) {
+			t.Fatalf("run %d: %d instances, first run had %d", run, len(g.Rules), len(first.Rules))
+		}
+		for i := range g.Rules {
+			if got, want := g.RuleString(&g.Rules[i]), first.RuleString(&first.Rules[i]); got != want {
+				t.Fatalf("run %d: Rules[%d] = %q, first run had %q", run, i, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelGroundingCancelled: a dead context stops the parallel passes
+// with the interrupt sentinel and no partial program; a live context
+// afterwards is unaffected.
+func TestParallelGroundingCancelled(t *testing.T) {
+	p := parse(t, `
+module c {
+  edge(a, b). edge(b, c). edge(c, d).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- edge(X, Y), path(Y, Z).
+}
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Shards = 8
+	g, err := GroundCtx(ctx, p, opts)
+	if !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to unwrap to context.Canceled", err)
+	}
+	if g != nil {
+		t.Fatalf("partial ground program returned alongside the interrupt")
+	}
+	if _, err := GroundCtx(context.Background(), p, opts); err != nil {
+		t.Fatalf("live context after abandoned attempt: %v", err)
+	}
+}
+
+// TestParallelGroundingNoLeaks: repeated successful and cancelled parallel
+// groundings leave no workers behind.
+func TestParallelGroundingNoLeaks(t *testing.T) {
+	p := parse(t, `
+module c {
+  edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- edge(X, Y), path(Y, Z).
+}
+`)
+	opts := DefaultOptions()
+	opts.Shards = 8
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		if _, err := Ground(p, opts); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := GroundCtx(ctx, p, opts); !errors.Is(err, interrupt.ErrInterrupted) {
+			t.Fatalf("iteration %d: err = %v, want ErrInterrupted", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 20 groundings", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelGroundingCounters: the per-shard instance counters of one
+// parallel run sum to the retained instance total, and the skew gauge stays
+// within its meaningful range [100, shards*100].
+func TestParallelGroundingCounters(t *testing.T) {
+	if !obs.On() {
+		t.Skip("metrics registry disabled")
+	}
+	p := parse(t, `
+module c {
+  edge(a, b). edge(b, c). edge(c, d). edge(d, e). edge(e, f).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- edge(X, Y), path(Y, Z).
+}
+`)
+	const n = 4
+	opts := DefaultOptions()
+	opts.Shards = n
+	before := obs.Default().Snap()
+	g, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := obs.Default().Snap().Diff(before)
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += d.Get(fmt.Sprintf("ground.shard.instances.%d", i))
+	}
+	if sum != int64(len(g.Rules)) {
+		t.Fatalf("sum(ground.shard.instances.*) = %d, retained instances = %d", sum, len(g.Rules))
+	}
+	if d.Get("ground.shard.runs") != 1 {
+		t.Fatalf("ground.shard.runs delta = %d, want 1", d.Get("ground.shard.runs"))
+	}
+	if skew := obs.Default().Gauge("ground.shard.skew").Value(); skew < 100 || skew > n*100 {
+		t.Fatalf("ground.shard.skew = %d, want within [100, %d]", skew, n*100)
+	}
+}
+
+// TestParallelGroundingBudgets: instance and atom budgets hold exactly
+// under parallel grounding — the post-merge re-check, not the relaxed
+// in-flight valve, is what callers observe.
+func TestParallelGroundingBudgets(t *testing.T) {
+	p := parse(t, `
+module c {
+  edge(a, b). edge(b, c). edge(c, d).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- edge(X, Y), path(Y, Z).
+}
+`)
+	seq, err := Ground(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Shards = 4
+	opts.MaxInstances = len(seq.Rules) - 1
+	if _, err := Ground(p, opts); err == nil {
+		t.Fatalf("budget %d not enforced on %d instances", opts.MaxInstances, len(seq.Rules))
+	}
+	opts.MaxInstances = len(seq.Rules)
+	if _, err := Ground(p, opts); err != nil {
+		t.Fatalf("budget exactly at the instance count rejected: %v", err)
+	}
+}

@@ -45,6 +45,46 @@ func encKey(k ast.PredKey, neg bool) ast.PredKey {
 // watermarks) is kept on the grounder so delta.go can assert and retract
 // facts incrementally after the base grounding.
 func (g *grounder) smart() error {
+	if err := g.smartPrep(); err != nil {
+		return err
+	}
+
+	// Fireable pass.
+	for _, sr := range g.dlSrc {
+		if err := g.check("ground: fireable pass"); err != nil {
+			return err
+		}
+		if err := g.joinInstantiate(g.st, sr.comp, sr.r, sr.body); err != nil {
+			return err
+		}
+	}
+
+	// Competitor pass. Snapshot the retained heads and the components that
+	// own instances of each head literal, then instantiate the potential
+	// competitors of every target.
+	g.prepCompetitors()
+	grown := g.registerTargets(0)
+	preComp := len(g.rules)
+	for _, tg := range grown {
+		if err := g.check("ground: competitor pass"); err != nil {
+			return err
+		}
+		if err := g.competitorsFor(tg); err != nil {
+			return err
+		}
+	}
+	g.compInstances += len(g.rules) - preComp
+	g.recordMarks()
+	return nil
+}
+
+// smartPrep is smart grounding's sequential prologue, shared with the
+// sharded parallel path: store and incremental-state setup, the $dom fill,
+// rule encoding and the possible-atom Datalog fixpoint. Running it
+// single-threaded in both modes also pins the term-id assignment order, so
+// the shard of any atom (first-argument term id mod shard count) is
+// deterministic run-to-run even when the later passes intern in parallel.
+func (g *grounder) smartPrep() error {
 	// The store shares the atom table's term table, so a term interned while
 	// filling relations is the same id the instantiation pass sees.
 	g.st = storage.NewStoreWith(g.tab.TermTable())
@@ -93,20 +133,13 @@ func (g *grounder) smart() error {
 		}
 		return err
 	}
+	return nil
+}
 
-	// Fireable pass.
-	for _, sr := range g.dlSrc {
-		if err := g.check("ground: fireable pass"); err != nil {
-			return err
-		}
-		if err := g.joinInstantiate(g.st, sr.comp, sr.r, sr.body); err != nil {
-			return err
-		}
-	}
-
-	// Competitor pass. Snapshot the retained heads and the components that
-	// own instances of each head literal, then instantiate the potential
-	// competitors of every target.
+// prepCompetitors builds the competitor pass's read-only side tables:
+// predicate shapes (with factComps), the body-EDB index and the empty
+// target maps registerTargets fills.
+func (g *grounder) prepCompetitors() {
 	g.shapes = g.predShapes()
 	g.bodyEDB = make(map[ast.PredKey][]compRule)
 	for ci, c := range g.src.Components {
@@ -120,19 +153,6 @@ func (g *grounder) smart() error {
 	}
 	g.targets = make(map[interp.Lit]*target)
 	g.targetsByPred = make(map[predSign][]*target)
-	grown := g.registerTargets(0)
-	preComp := len(g.rules)
-	for _, tg := range grown {
-		if err := g.check("ground: competitor pass"); err != nil {
-			return err
-		}
-		if err := g.competitorsFor(tg); err != nil {
-			return err
-		}
-	}
-	g.compInstances += len(g.rules) - preComp
-	g.recordMarks()
-	return nil
 }
 
 // encodeRule builds the datalog encoding of a source rule body: one
@@ -210,12 +230,23 @@ func (g *grounder) compRules(ci int, fn func(*ast.Rule) error) error {
 	return nil
 }
 
+// emitFn receives each fully bound rule instance the instantiation passes
+// produce. The sequential paths pass g.instantiate (dedup + append into the
+// shared grounder state); the sharded parallel workers pass their own
+// per-worker emit so instance recording needs no locking.
+type emitFn func(comp int, r *ast.Rule, s *unify.Subst) error
+
 // competitorsFor instantiates the potential competitors of one target: for
 // every component that can overrule or defeat an owner of the target head,
 // the head-matched rules with the complementary head. Idempotent — the
 // instance dedup absorbs re-runs, which is what lets incremental updates
 // re-run it for targets that grew.
 func (g *grounder) competitorsFor(tg *target) error {
+	return g.competitorsForEmit(tg, g.instantiate)
+}
+
+// competitorsForEmit is competitorsFor with an explicit instance sink.
+func (g *grounder) competitorsForEmit(tg *target, emit emitFn) error {
 	scratch := unify.NewSubst()
 	wantKey := tg.atom.Key()
 	wantNeg := !tg.neg // competitor head sign
@@ -239,7 +270,7 @@ func (g *grounder) competitorsFor(tg *target) error {
 			mark := scratch.Mark()
 			defer scratch.Undo(mark)
 			if unify.MatchAtoms(scratch, r.Head.Atom, tg.atom) {
-				return g.emitCompetitors(g.st, g.shapes, ci, r, scratch, deltaNone)
+				return g.emitCompetitors(g.st, g.shapes, ci, r, scratch, deltaNone, emit)
 			}
 			return nil
 		})
@@ -328,7 +359,7 @@ func (g *grounder) predShapes() map[ast.PredKey]*predShape {
 			} else if !r.IsFact() || !r.Head.Atom.Ground() {
 				s.onlyFactPos = false
 			} else {
-				fk, _ := g.factKey(r.Head.Atom, true)
+				fk := g.factKey(r.Head.Atom)
 				g.factComps[fk] = append(g.factComps[fk], ci)
 			}
 		}
@@ -366,7 +397,7 @@ var deltaNone = deltaRestrict{pos: -1}
 // range over the universe; instances satisfying a negative literal on a
 // fact of an EDB-with-CWA predicate in a visible-from-everywhere component
 // are dropped (provably blocked as well).
-func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst, delta deltaRestrict) error {
+func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst, delta deltaRestrict, emit emitFn) error {
 	// Join items: positive EDB literals bind from the fact relation, joined
 	// in planner order.
 	var joinLits []storage.JoinLit
@@ -396,7 +427,7 @@ func (g *grounder) emitCompetitors(st *storage.Store, shapes map[ast.PredKey]*pr
 				free = append(free, v)
 			}
 		}
-		return g.enumerateFiltered(st, shapes, comp, r, s, free)
+		return g.enumerateFiltered(st, shapes, comp, r, s, free, emit)
 	})
 }
 
@@ -416,8 +447,8 @@ func (g *grounder) edbShapeOf(shapes map[ast.PredKey]*predShape, k ast.PredKey) 
 // enumerateFiltered binds free variables over the universe and emits
 // instances, dropping those provably blocked in every model through a
 // satisfied negative literal on an everywhere-visible EDB fact.
-func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst, free []ast.Var) error {
-	emit := func() error {
+func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*predShape, comp int, r *ast.Rule, s *unify.Subst, free []ast.Var, emit emitFn) error {
+	emit1 := func() error {
 		for _, l := range r.Body {
 			if !l.Neg || g.opts.NoEDBSimplify {
 				continue
@@ -434,10 +465,10 @@ func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*
 				return nil
 			}
 		}
-		return g.instantiate(comp, r, s)
+		return emit(comp, r, s)
 	}
 	if len(free) == 0 {
-		return emit()
+		return emit1()
 	}
 	if len(g.uni) == 0 {
 		return nil
@@ -445,7 +476,7 @@ func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(free) {
-			return emit()
+			return emit1()
 		}
 		for _, t := range g.uni {
 			mark := s.Mark()
@@ -464,12 +495,26 @@ func (g *grounder) enumerateFiltered(st *storage.Store, shapes map[ast.PredKey]*
 // EDB-with-CWA predicate in a component cb with comp <= cb < cwa — in
 // which case the fact is visible and undefeated in every view that sees
 // the competitor instance, so a negative literal on it blocks the instance
-// in every model.
+// in every model. Lookup-only with a stack key buffer: the sharded
+// competitor workers call this concurrently, so it must not touch the
+// grounder's shared keyBuf scratch or intern anything.
 func (g *grounder) blockedByVisibleFact(atom ast.Atom, comp int, sh *predShape) bool {
-	fk, ok := g.factKey(atom, false)
+	tt := g.tab.TermTable()
+	var kb [64]byte
+	buf := kb[:0]
+	id, ok := tt.LookupSym(atom.Pred)
 	if !ok {
-		return false // some subterm was never interned: atom equals no fact head
+		return false // predicate symbol never interned: atom equals no fact head
 	}
+	buf = term.AppendID(buf, id)
+	for _, t := range atom.Args {
+		tid, ok := tt.Lookup(t)
+		if !ok {
+			return false // some subterm was never interned: atom equals no fact head
+		}
+		buf = term.AppendID(buf, tid)
+	}
+	fk := string(buf)
 	for _, cb := range g.factComps[fk] {
 		if cb == sh.cwaComp {
 			continue
@@ -488,13 +533,21 @@ func (g *grounder) blockedByVisibleFact(atom ast.Atom, comp int, sh *predShape) 
 // over the possible-atom store and emits the corresponding instances. The
 // join order is chosen by the shared selectivity planner.
 func (g *grounder) joinInstantiate(st *storage.Store, comp int, r *ast.Rule, body []datalog.Lit) error {
+	return g.joinInstantiateEmit(st, comp, r, body, 0, 1, g.instantiate)
+}
+
+// joinInstantiateEmit is joinInstantiate restricted to one shard of the
+// join enumeration (storage.JoinSharded on the driving literal's tuples)
+// with an explicit instance sink; shard 0 of 1 is the full sequential
+// enumeration.
+func (g *grounder) joinInstantiateEmit(st *storage.Store, comp int, r *ast.Rule, body []datalog.Lit, shard, nShards int, emit emitFn) error {
 	s := unify.NewSubst()
 	lits := make([]storage.JoinLit, len(body))
 	for i, l := range body {
 		lits[i] = storage.JoinLit{Rel: st.Peek(l.Key), Args: l.Args}
 	}
-	return storage.Join(s, lits, -1, !g.opts.NoJoinPlanner, func() error {
-		return g.instantiate(comp, r, s)
+	return storage.JoinSharded(s, lits, -1, !g.opts.NoJoinPlanner, shard, nShards, func() error {
+		return emit(comp, r, s)
 	})
 }
 

@@ -46,9 +46,12 @@ func (l Lit) Complement() Lit { return l ^ 1 }
 // map probe over a short binary key instead of re-serialising the atom to
 // a string. The zero value is not usable; call NewTable.
 //
-// Like term.Table, an atom table is safe for one (externally serialised)
-// writer against concurrent readers: Intern/InternIDs take the write lock,
-// Lookup/LookupIDs/Atom/Len/OfPred/Preds the read lock.
+// Like term.Table, an atom table is safe for concurrent use: Intern and
+// InternIDs take the write lock (so concurrent writers serialise on the
+// mutex, including the shared key scratch it guards), and
+// Lookup/LookupIDs/Atom/Len/OfPred/Preds take the read lock. The sharded
+// grounding workers rely on this: several goroutines intern head and body
+// atoms of independent rule instances against one table.
 type Table struct {
 	mu    sync.RWMutex
 	tab   *term.Table
@@ -205,6 +208,25 @@ func (t *Table) Preds() []ast.PredKey {
 		return keys[i].Arity < keys[j].Arity
 	})
 	return keys
+}
+
+// ShardKey returns the hash-partitioning key of an interned atom for
+// sharded evaluation: the interned term id of its first argument, or the
+// id of its predicate symbol for arity-0 atoms. The key is a property of
+// the atom, not of the literal sign, so an atom and its classical
+// complement always map to the same shard — which is what keeps every
+// overruler/defeater edge of the ordered semantics shard-local.
+func (t *Table) ShardKey(id AtomID) term.ID {
+	t.mu.RLock()
+	a := t.atoms[id]
+	t.mu.RUnlock()
+	if len(a.Args) == 0 {
+		// Interned atoms always have an interned predicate symbol.
+		k, _ := t.tab.LookupSym(a.Pred)
+		return k
+	}
+	k, _ := t.tab.Lookup(a.Args[0])
+	return k
 }
 
 // LitString renders an interned literal using the table.

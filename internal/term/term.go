@@ -26,11 +26,13 @@ const None ID = -1
 
 // Table interns terms. The zero value is not usable; call NewTable.
 //
-// A Table is safe for one writer against any number of concurrent readers:
-// the mutating methods (Intern, InternSym) take the write lock, the reading
-// methods (Lookup, LookupSym, Term, Len) the read lock. Writers themselves
-// must be externally serialised — the engine funnels all interning through
-// one grounding run or one snapshot update at a time.
+// A Table is safe for concurrent use: the mutating methods (Intern,
+// InternSym) take the write lock — concurrent writers serialise on the
+// mutex, which also guards the shared key scratch — and the reading
+// methods (Lookup, LookupSym, Term, Len) take the read lock. Most of the
+// engine funnels interning through one grounding run or snapshot update
+// at a time; the sharded grounding workers intern concurrently and lean
+// on the write lock.
 type Table struct {
 	mu    sync.RWMutex
 	syms  map[string]ID

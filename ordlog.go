@@ -229,6 +229,12 @@ func WithEnumBudget(n int) Option { return core.WithEnumBudget(n) }
 // event (grounding, updates, least-model computations) to w.
 func WithTrace(w io.Writer) Option { return core.WithTrace(w) }
 
+// WithShards returns an Option running grounding and least-model fixpoints
+// sharded over n parallel workers (atoms and rule instances partitioned by
+// first-argument term id). Results are identical to the sequential
+// engine's; n <= 1 keeps evaluation sequential.
+func WithShards(n int) Option { return core.WithShards(n) }
+
 // ParseFacts parses module-free clauses (typically a bulk fact base) and
 // returns them as literals suitable for Engine.Update. Every clause must
 // be a ground fact.
