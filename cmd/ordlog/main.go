@@ -58,6 +58,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/repl"
+	"repro/internal/serve"
 	"repro/internal/transform"
 )
 
@@ -81,11 +82,14 @@ func main() {
 	analyzeFlag := flag.Bool("analyze", false, "print static diagnostics and exit")
 	dot := flag.String("dot", "", "emit GraphViz and exit: order | deps")
 	flag.Parse()
+	stopMetrics := func() {}
 	if *metricsAddr != "" {
-		if err := serveMetrics(*metricsAddr); err != nil {
+		shutdown, err := serveMetrics(*metricsAddr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ordlog: -metrics-addr:", err)
 			os.Exit(1)
 		}
+		stopMetrics = shutdown
 	}
 	if (*analyzeFlag || *dot != "") && flag.NArg() == 1 {
 		if err := runAnalysis(flag.Arg(0), *analyzeFlag, *dot); err != nil {
@@ -118,6 +122,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ordlog: holding metrics listener for %s\n", *metricsHold)
 		time.Sleep(*metricsHold)
 	}
+	stopMetrics()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ordlog:", err)
 		os.Exit(1)
@@ -128,11 +133,14 @@ func main() {
 // counters as flat JSON at /debug/metrics (see internal/obs) plus the
 // standard pprof handlers. The listener is bound synchronously so the
 // resolved address (":0" picks an ephemeral port) can be printed before any
-// engine work starts; the server itself lives for the rest of the process.
-func serveMetrics(addr string) error {
+// engine work starts. The server is the shared hardened one (header read
+// timeout, bounded headers — see serve.NewHTTPServer), and the returned
+// shutdown function drains it instead of abandoning the listener: a scrape
+// racing process exit finishes instead of getting its connection cut.
+func serveMetrics(addr string) (shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", obs.Default().Handler())
@@ -142,12 +150,20 @@ func serveMetrics(addr string) error {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	fmt.Fprintf(os.Stderr, "ordlog: metrics on http://%s/debug/metrics\n", ln.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
 	go func() {
-		if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
+		defer close(done)
+		// serve.Serve swallows http.ErrServerClosed — only real failures
+		// (broken listener, drain overrun) are worth a line on stderr.
+		if err := serve.Serve(ctx, serve.NewHTTPServer(mux), ln, 2*time.Second); err != nil {
 			fmt.Fprintln(os.Stderr, "ordlog: metrics server:", err)
 		}
 	}()
-	return nil
+	return func() {
+		cancel()
+		<-done
+	}, nil
 }
 
 func runAnalysis(path string, diags bool, dot string) error {

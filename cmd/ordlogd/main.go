@@ -1,0 +1,109 @@
+// Command ordlogd is the long-lived serving daemon: it hosts many named
+// ordered-logic programs as tenants behind an HTTP/JSON API (see
+// internal/serve for the wire protocol and DESIGN.md §11 for the design).
+// Each tenant is one engine with atomic snapshot versioning; reads pin a
+// snapshot, writes publish new versions, admission is bounded per tenant,
+// and ?timeout= deadlines degrade to partial results instead of errors.
+//
+// Usage:
+//
+//	ordlogd [flags]
+//
+//	-addr a            listen address (default localhost:4040; :0 picks an
+//	                   ephemeral port, printed to stderr)
+//	-load name=path    preload a tenant from a .olp file before serving
+//	                   (repeatable; embedded queries are ignored)
+//	-inflight n        per-tenant admission bound (default 64, 0 = unbounded)
+//	-retain n          snapshot versions kept pinnable per tenant (default 8)
+//	-default-timeout d deadline for requests without ?timeout= (0 = none)
+//	-max-timeout d     cap on ?timeout= (default 30s)
+//	-grace d           drain budget for graceful shutdown (default 10s)
+//	-shards n          engine shards per tenant (0 or 1 = sequential)
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
+// in-flight requests get up to -grace to finish, and the exit status
+// reports whether the drain completed (0) or had to cut connections (1).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	ordlog "repro"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// loadFlags collects repeated -load name=path pairs in order.
+type loadFlags []struct{ name, path string }
+
+func (l *loadFlags) String() string { return fmt.Sprintf("%d tenants", len(*l)) }
+
+func (l *loadFlags) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:4040", "listen address")
+	inflight := flag.Int("inflight", 64, "per-tenant admission bound (0 = unbounded)")
+	retain := flag.Int("retain", 8, "snapshot versions kept pinnable per tenant")
+	defaultTimeout := flag.Duration("default-timeout", 0, "deadline for requests without ?timeout= (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on ?timeout=")
+	grace := flag.Duration("grace", 10*time.Second, "drain budget for graceful shutdown")
+	shards := flag.Int("shards", 0, "engine shards per tenant (0 or 1 = sequential)")
+	var loads loadFlags
+	flag.Var(&loads, "load", "preload tenant from file: name=path (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ordlogd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d := serve.New(serve.Config{
+		InFlight:       *inflight,
+		Retain:         *retain,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Engine:         core.Config{Shards: *shards},
+	})
+	for _, l := range loads {
+		res, err := ordlog.ParseFile(l.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ordlogd: -load %s: %v\n", l.name, err)
+			os.Exit(1)
+		}
+		if _, _, err := d.Registry().Put(context.Background(), l.name, res.Program, core.Config{Shards: *shards}); err != nil {
+			fmt.Fprintf(os.Stderr, "ordlogd: -load %s: %v\n", l.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ordlogd: loaded tenant %q from %s\n", l.name, l.path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlogd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ordlogd: serving %d tenants on http://%s\n", d.Registry().Len(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve.Serve(ctx, serve.NewHTTPServer(d.Handler()), ln, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "ordlogd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "ordlogd: drained, bye")
+}

@@ -85,6 +85,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.n == 0 {
 		return 0
 	}
+	// Clamp q to [0,1]: a negative q would compute a negative rank and
+	// silently report the first occupied bucket regardless of how far
+	// below zero it was, and q > 1 has no rank past the last observation.
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	rank := int64(q * float64(h.n-1))
 	var seen int64
 	for b, c := range h.counts {

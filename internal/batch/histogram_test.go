@@ -51,6 +51,36 @@ func TestQuantileSingleEdgeObservation(t *testing.T) {
 	}
 }
 
+// Regression test: Quantile must clamp q to [0,1]. Before the clamp a
+// negative q produced a negative rank — `seen > rank` held at the first
+// occupied bucket, so Quantile(-5) quietly reported the first bucket's
+// upper bound no matter what the distribution looked like, and a q > 1
+// silently degraded to Max via the fallthrough instead of by decision.
+func TestQuantileClampsQ(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Second)
+	for _, q := range []float64{-1000, -1, -0.01} {
+		if got, want := h.Quantile(q), h.Quantile(0); got != want {
+			t.Errorf("Quantile(%v) = %v, want Quantile(0) = %v", q, got, want)
+		}
+	}
+	for _, q := range []float64{1.01, 2, 1000} {
+		if got, want := h.Quantile(q), h.Quantile(1); got != want {
+			t.Errorf("Quantile(%v) = %v, want Quantile(1) = %v", q, got, want)
+		}
+	}
+	// The clamped extremes still honour the existing bounds contract.
+	if got := h.Quantile(-1); got > h.Max() {
+		t.Errorf("Quantile(-1) = %v exceeds Max() = %v", got, h.Max())
+	}
+	if got := h.Quantile(2); got != h.Max() {
+		t.Errorf("Quantile(2) = %v, want Max() = %v (all mass below rank)", got, h.Max())
+	}
+}
+
 func TestMinMaxAccessors(t *testing.T) {
 	var h Histogram
 	if h.Min() != 0 || h.Max() != 0 {

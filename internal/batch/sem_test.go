@@ -1,0 +1,125 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/interrupt"
+)
+
+func TestSemaphoreBound(t *testing.T) {
+	s := NewSemaphore(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("first two acquisitions must succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("third acquisition must fail at bound 2")
+	}
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	if got := s.Cap(); got != 2 {
+		t.Fatalf("Cap = %d, want 2", got)
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("acquisition after release must succeed")
+	}
+}
+
+func TestSemaphoreAcquireHonoursContext(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Acquire(ctx)
+	if !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("blocked Acquire error = %v, want ErrInterrupted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blocked Acquire returned after %v, want prompt return", elapsed)
+	}
+	// A free slot admits instantly even under a pre-cancelled context: the
+	// deadline bounds queueing, not uncontended admission.
+	s.Release()
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := s.Acquire(dead); err != nil {
+		t.Fatalf("pre-cancelled Acquire with a free slot = %v, want success", err)
+	}
+	// But a pre-cancelled context never queues: with the slot held again,
+	// the failure is prompt and carries the sentinel.
+	if err := s.Acquire(dead); !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("pre-cancelled Acquire at the bound = %v, want ErrInterrupted", err)
+	}
+}
+
+func TestSemaphoreUnbounded(t *testing.T) {
+	s := NewSemaphore(0)
+	for i := 0; i < 100; i++ {
+		if !s.TryAcquire() {
+			t.Fatal("unbounded semaphore refused an acquisition")
+		}
+	}
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded still counts its holders for observability.
+	if s.InFlight() != 101 || s.Cap() != 0 {
+		t.Fatalf("unbounded semaphore reports InFlight=%d Cap=%d, want 101/0", s.InFlight(), s.Cap())
+	}
+	s.Release()
+	if s.InFlight() != 100 {
+		t.Fatalf("InFlight after release = %d, want 100", s.InFlight())
+	}
+}
+
+func TestSemaphoreReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewSemaphore(1).Release()
+}
+
+// Under contention the bound is never exceeded: 16 goroutines hammer a
+// 3-slot semaphore and track the high-water mark of concurrent holders.
+func TestSemaphoreContention(t *testing.T) {
+	s := NewSemaphore(3)
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Acquire(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Fatalf("high-water mark %d exceeds bound 3", peak)
+	}
+}

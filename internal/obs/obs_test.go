@@ -174,3 +174,19 @@ func TestRegistryConcurrentGetOrCreate(t *testing.T) {
 		t.Fatalf("shared counter = %d, want 16", got)
 	}
 }
+
+func TestSanitizeSegment(t *testing.T) {
+	cases := map[string]string{
+		"":             "_",
+		"tenant-1":     "tenant-1",
+		"Tenant_OK":    "Tenant_OK",
+		"a.b.c":        "a_b_c", // dots would shift the metric family prefix
+		"sp ace/slash": "sp_ace_slash",
+		"ünïcode":      "__n__code",
+	}
+	for in, want := range cases {
+		if got := SanitizeSegment(in); got != want {
+			t.Errorf("SanitizeSegment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -182,6 +182,39 @@ func (r *Registry) Histogram(name string) *Hist {
 	return h
 }
 
+// SanitizeSegment makes an arbitrary string — a tenant name, a file path —
+// safe to splice into a dotted metric path as one segment: every byte
+// outside [A-Za-z0-9_-] becomes '_' and the empty string becomes "_", so
+// caller-controlled names can never add dots (which would shift the family
+// prefix) or break the flat JSON export. The mapping is not injective;
+// callers that need exact names keep them out of metric paths.
+func SanitizeSegment(s string) string {
+	if s == "" {
+		return "_"
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !segmentByteOK(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if !segmentByteOK(c) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func segmentByteOK(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
 // Snap is a point-in-time reading of every integer-valued metric: counters
 // and gauges under their own names, histograms contributing
 // "<name>.count". Snapshots are plain maps — diff them, marshal them, or

@@ -1,0 +1,643 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/interrupt"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/stable"
+	"repro/internal/transform"
+)
+
+// Config configures a Daemon. The zero value serves: unbounded admission,
+// 8 retained versions, no default deadline, 30s deadline cap, 8 MiB bodies
+// and a zero-value engine config for every tenant.
+type Config struct {
+	// InFlight bounds the concurrently admitted requests per tenant
+	// (query/prove/stable/update/retract); excess requests queue until
+	// their own deadline and are rejected with 429. <= 0 = unbounded.
+	InFlight int
+
+	// Retain is the number of snapshot versions kept pinnable per tenant
+	// (<= 0 = 8). The current version is always pinnable.
+	Retain int
+
+	// DefaultTimeout is applied to requests that carry no ?timeout=
+	// (0 = none: the request runs until the client disconnects).
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps ?timeout= (0 = 30s). A larger request value is
+	// clamped, not rejected — the response still honours the contract.
+	MaxTimeout time.Duration
+
+	// MaxBodyBytes bounds program and fact uploads (0 = 8 MiB).
+	MaxBodyBytes int64
+
+	// Engine is the construction config for every tenant's engine
+	// (shards, workers, enumeration budget, grounding options).
+	Engine core.Config
+}
+
+// Daemon is the multi-tenant serving state behind the HTTP handler. One
+// Daemon hosts many named engines; all handler state lives in the tenant
+// registry, so the handler itself is stateless and safe for concurrent use.
+type Daemon struct {
+	cfg Config
+	reg *core.Registry
+}
+
+// New returns a Daemon with the given configuration.
+func New(cfg Config) *Daemon {
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	return &Daemon{cfg: cfg, reg: core.NewRegistry(cfg.InFlight, cfg.Retain)}
+}
+
+// Registry exposes the tenant registry (for preloading tenants at startup
+// and for tests).
+func (d *Daemon) Registry() *core.Registry { return d.reg }
+
+// Handler returns the daemon's HTTP handler: the /v1 tenant API, /healthz,
+// and /debug/metrics (the process-global obs registry as flat JSON).
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.Handle("GET /debug/metrics", obs.Default().Handler())
+	mux.HandleFunc("GET /v1/tenants", d.instrument("list", d.handleList))
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", d.instrument("load", d.handleLoad))
+	mux.HandleFunc("GET /v1/tenants/{tenant}", d.instrument("info", d.handleInfo))
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", d.instrument("drop", d.handleDrop))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/update", d.instrument("update", d.handleUpdate))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/retract", d.instrument("retract", d.handleRetract))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/query", d.instrument("query", d.handleQuery))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/prove", d.instrument("prove", d.handleProve))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/stable", d.instrument("stable", d.handleStable))
+	return mux
+}
+
+// instrument wraps a handler with the serve.* request accounting: total
+// requests, per-op counts and the latency histogram.
+func (d *Daemon) instrument(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mRequests.Inc()
+		opCounter(op).Inc()
+		h(w, r)
+		hLatency.Observe(time.Since(start))
+	}
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func failf(w http.ResponseWriter, code int, format string, args ...any) {
+	mErrors.Inc()
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// reqCtx derives the request's evaluation context from ?timeout=, clamped
+// to MaxTimeout, falling back to the daemon default. The base is the
+// request context, so a client disconnect cancels evaluation either way.
+func (d *Daemon) reqCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := d.cfg.DefaultTimeout
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		dur, err := time.ParseDuration(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad timeout %q: %v", s, err)
+		}
+		if dur <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q: must be positive", s)
+		}
+		timeout = dur
+	}
+	if timeout > d.cfg.MaxTimeout {
+		timeout = d.cfg.MaxTimeout
+	}
+	if timeout <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// tenant resolves the {tenant} path segment, failing the request with 404.
+func (d *Daemon) tenant(w http.ResponseWriter, r *http.Request) (*core.Tenant, bool) {
+	name := r.PathValue("tenant")
+	t, ok := d.reg.Get(name)
+	if !ok {
+		failf(w, http.StatusNotFound, "unknown tenant %q", name)
+		return nil, false
+	}
+	return t, true
+}
+
+// admit acquires the tenant's admission slot under ctx. On failure it
+// writes the 429 rejection and reports false; the caller must return.
+func admit(ctx context.Context, w http.ResponseWriter, t *core.Tenant) (release func(), ok bool) {
+	release, err := t.Acquire(ctx)
+	if err != nil {
+		mRejected.Inc()
+		mErrors.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{
+			Error: fmt.Sprintf("tenant %q admission queue full: %v", t.Name(), err)})
+		return nil, false
+	}
+	return release, true
+}
+
+// pin resolves the snapshot a read runs against: ?version= re-reads a
+// retained version (410 when evicted, 404 when never published), absent
+// means the current tip.
+func pin(w http.ResponseWriter, r *http.Request, t *core.Tenant) (*core.Snapshot, bool) {
+	s := r.URL.Query().Get("version")
+	if s == "" {
+		return t.Current(), true
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "bad version %q: %v", s, err)
+		return nil, false
+	}
+	snap, err := t.At(v)
+	switch {
+	case errors.Is(err, core.ErrVersionEvicted):
+		failf(w, http.StatusGone, "%v", err)
+		return nil, false
+	case errors.Is(err, core.ErrVersionUnknown):
+		failf(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	case err != nil:
+		failf(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return snap, true
+}
+
+// truncation marks a partial response: 206, the Ordlog-Truncated header
+// and the body's "truncated" field (set by the caller) carry the marker.
+func markTruncated(w http.ResponseWriter) {
+	mTruncated.Inc()
+	w.Header().Set("Ordlog-Truncated", "true")
+}
+
+func setVersion(w http.ResponseWriter, v uint64) {
+	w.Header().Set("Ordlog-Version", strconv.FormatUint(v, 10))
+}
+
+// partialErr reports whether err is the graceful-degradation kind — the
+// engine returned whatever it had alongside the error.
+func partialErr(err error) bool {
+	return errors.Is(err, interrupt.ErrInterrupted) || errors.Is(err, stable.ErrBudget)
+}
+
+// --- tenant lifecycle -----------------------------------------------------
+
+type tenantInfoJSON struct {
+	Name       string   `json:"name"`
+	Version    uint64   `json:"version"`
+	Rules      int      `json:"rules"`
+	Atoms      int      `json:"atoms"`
+	Components []string `json:"components"`
+	Retained   []uint64 `json:"retained"`
+	InFlight   int      `json:"in_flight"`
+}
+
+func tenantInfo(t *core.Tenant) tenantInfoJSON {
+	snap := t.Current()
+	src := t.Engine().Source()
+	comps := make([]string, len(src.Components))
+	for i, c := range src.Components {
+		comps[i] = c.Name
+	}
+	return tenantInfoJSON{
+		Name:       t.Name(),
+		Version:    snap.Version(),
+		Rules:      snap.NumGroundRules(),
+		Atoms:      snap.NumAtoms(),
+		Components: comps,
+		Retained:   t.Versions(),
+		InFlight:   t.InFlight(),
+	}
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, _ *http.Request) {
+	names := d.reg.Names()
+	out := struct {
+		Tenants []tenantInfoJSON `json:"tenants"`
+	}{Tenants: make([]tenantInfoJSON, 0, len(names))}
+	for _, n := range names {
+		if t, ok := d.reg.Get(n); ok {
+			out.Tenants = append(out.Tenants, tenantInfo(t))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *Daemon) handleInfo(w http.ResponseWriter, r *http.Request) {
+	t, ok := d.tenant(w, r)
+	if !ok {
+		return
+	}
+	setVersion(w, t.Current().Version())
+	writeJSON(w, http.StatusOK, tenantInfo(t))
+}
+
+func (d *Daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes))
+	if err != nil {
+		failf(w, http.StatusRequestEntityTooLarge, "read program: %v", err)
+		return
+	}
+	src := string(body)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req struct {
+			Program string `json:"program"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			failf(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		src = req.Program
+	}
+	// Queries embedded in the source (testdata files carry them) are
+	// ignored: the daemon's query surface is the wire API.
+	res, err := parser.Parse(src)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "parse program: %v", err)
+		return
+	}
+	ctx, cancel, err := d.reqCtx(r)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	t, replaced, err := d.reg.Put(ctx, name, res.Program, d.cfg.Engine)
+	if err != nil {
+		code := http.StatusBadRequest
+		if interrupt.IsInterrupted(err) {
+			code = http.StatusServiceUnavailable
+		}
+		failf(w, code, "ground program: %v", err)
+		return
+	}
+	mTenants.Set(int64(d.reg.Len()))
+	tenantCounter(name, "loads").Inc()
+	code := http.StatusCreated
+	if replaced {
+		code = http.StatusOK
+	}
+	setVersion(w, t.Current().Version())
+	writeJSON(w, code, tenantInfo(t))
+}
+
+func (d *Daemon) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if !d.reg.Drop(name) {
+		failf(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	mTenants.Set(int64(d.reg.Len()))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- writes ---------------------------------------------------------------
+
+// parseFacts parses module-free source text into ground-fact literals —
+// the body format of update/retract (same contract as ordlog.ParseFacts).
+func parseFacts(src string) ([]ast.Literal, error) {
+	extra, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(extra.Components) == 0 {
+		return nil, nil
+	}
+	if len(extra.Components) != 1 || extra.Components[0].Name != parser.MainComponent {
+		return nil, fmt.Errorf("fact source must be module-free")
+	}
+	rules, err := transform.FlattenSingle(extra)
+	if err != nil {
+		return nil, err
+	}
+	facts := make([]ast.Literal, 0, len(rules))
+	for _, r := range rules {
+		if !r.IsFact() || !r.Head.Atom.Ground() {
+			return nil, fmt.Errorf("not a ground fact: %s", r)
+		}
+		facts = append(facts, r.Head)
+	}
+	return facts, nil
+}
+
+type writeReqJSON struct {
+	Component string `json:"component"`
+	Facts     string `json:"facts"`
+}
+
+type writeRespJSON struct {
+	Tenant    string `json:"tenant"`
+	Component string `json:"component"`
+	Version   uint64 `json:"version"`
+	Facts     int    `json:"facts"`
+}
+
+func (d *Daemon) handleUpdate(w http.ResponseWriter, r *http.Request)  { d.handleWrite(w, r, false) }
+func (d *Daemon) handleRetract(w http.ResponseWriter, r *http.Request) { d.handleWrite(w, r, true) }
+
+func (d *Daemon) handleWrite(w http.ResponseWriter, r *http.Request, retract bool) {
+	t, ok := d.tenant(w, r)
+	if !ok {
+		return
+	}
+	var req writeReqJSON
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.cfg.MaxBodyBytes))
+	if err != nil {
+		failf(w, http.StatusRequestEntityTooLarge, "read body: %v", err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		failf(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	facts, err := parseFacts(req.Facts)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "parse facts: %v", err)
+		return
+	}
+	ctx, cancel, err := d.reqCtx(r)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	release, ok := admit(ctx, w, t)
+	if !ok {
+		return
+	}
+	defer release()
+	op := t.Update
+	if retract {
+		op = t.Retract
+	}
+	snap, err := op(ctx, req.Component, facts)
+	if err != nil {
+		// Writes are atomic snapshot bumps: there is no partial write, so
+		// an interrupted one reports unavailability, not truncation.
+		code := http.StatusBadRequest
+		if interrupt.IsInterrupted(err) {
+			code = http.StatusServiceUnavailable
+		}
+		failf(w, code, "%v", err)
+		return
+	}
+	tenantCounter(t.Name(), "writes").Inc()
+	setVersion(w, snap.Version())
+	writeJSON(w, http.StatusOK, writeRespJSON{
+		Tenant: t.Name(), Component: req.Component,
+		Version: snap.Version(), Facts: len(facts),
+	})
+}
+
+// --- reads ----------------------------------------------------------------
+
+type queryRespJSON struct {
+	Tenant    string              `json:"tenant"`
+	Component string              `json:"component"`
+	Version   uint64              `json:"version"`
+	Query     string              `json:"query"`
+	Truncated bool                `json:"truncated"`
+	Answers   []map[string]string `json:"answers"`
+}
+
+// parseQuery parses the ?q= conjunctive goal ("anc(c0, X), p(X)").
+func parseQuery(q string) (ast.Query, error) {
+	res, err := parser.Parse("?- " + q + ".")
+	if err != nil {
+		return ast.Query{}, err
+	}
+	if len(res.Queries) != 1 {
+		return ast.Query{}, fmt.Errorf("want exactly one goal, got %d", len(res.Queries))
+	}
+	return res.Queries[0], nil
+}
+
+func (d *Daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, ok := d.tenant(w, r)
+	if !ok {
+		return
+	}
+	qtext := r.URL.Query().Get("q")
+	if qtext == "" {
+		failf(w, http.StatusBadRequest, "missing ?q= goal")
+		return
+	}
+	q, err := parseQuery(qtext)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "parse query: %v", err)
+		return
+	}
+	comp := r.URL.Query().Get("component")
+	snap, ok := pin(w, r, t)
+	if !ok {
+		return
+	}
+	ctx, cancel, err := d.reqCtx(r)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	release, ok := admit(ctx, w, t)
+	if !ok {
+		return
+	}
+	defer release()
+	tenantCounter(t.Name(), "reads").Inc()
+	resp := queryRespJSON{
+		Tenant: t.Name(), Component: comp, Version: snap.Version(),
+		Query: q.String(), Answers: []map[string]string{},
+	}
+	bindings, err := snap.QueryCtx(ctx, comp, q)
+	setVersion(w, snap.Version())
+	if err != nil {
+		if partialErr(err) {
+			// The least model did not converge inside the deadline: no
+			// bindings exist yet. The truncation marker tells the client
+			// this is a deadline artifact, not an empty answer set.
+			resp.Truncated = true
+			markTruncated(w)
+			writeJSON(w, http.StatusPartialContent, resp)
+			return
+		}
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for _, b := range bindings {
+		row := make(map[string]string, len(b))
+		for k, v := range b {
+			row[k] = v.String()
+		}
+		resp.Answers = append(resp.Answers, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type proveRespJSON struct {
+	Tenant    string `json:"tenant"`
+	Component string `json:"component"`
+	Version   uint64 `json:"version"`
+	Literal   string `json:"literal"`
+	Truncated bool   `json:"truncated"`
+	Proved    *bool  `json:"proved"`
+}
+
+func (d *Daemon) handleProve(w http.ResponseWriter, r *http.Request) {
+	t, ok := d.tenant(w, r)
+	if !ok {
+		return
+	}
+	ltext := r.URL.Query().Get("lit")
+	if ltext == "" {
+		failf(w, http.StatusBadRequest, "missing ?lit= literal")
+		return
+	}
+	l, err := parser.ParseLiteral(ltext)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "parse literal: %v", err)
+		return
+	}
+	comp := r.URL.Query().Get("component")
+	snap, ok := pin(w, r, t)
+	if !ok {
+		return
+	}
+	ctx, cancel, err := d.reqCtx(r)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	release, ok := admit(ctx, w, t)
+	if !ok {
+		return
+	}
+	defer release()
+	tenantCounter(t.Name(), "reads").Inc()
+	resp := proveRespJSON{
+		Tenant: t.Name(), Component: comp, Version: snap.Version(), Literal: l.String(),
+	}
+	proved, err := snap.ProveCtx(ctx, comp, l)
+	setVersion(w, snap.Version())
+	if err != nil {
+		if partialErr(err) {
+			resp.Truncated = true
+			markTruncated(w)
+			writeJSON(w, http.StatusPartialContent, resp)
+			return
+		}
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp.Proved = &proved
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type stableRespJSON struct {
+	Tenant    string            `json:"tenant"`
+	Component string            `json:"component"`
+	Version   uint64            `json:"version"`
+	Truncated bool              `json:"truncated"`
+	Count     int               `json:"count"`
+	Models    []json.RawMessage `json:"models"`
+}
+
+func (d *Daemon) handleStable(w http.ResponseWriter, r *http.Request) {
+	t, ok := d.tenant(w, r)
+	if !ok {
+		return
+	}
+	comp := r.URL.Query().Get("component")
+	var maxModels int
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			failf(w, http.StatusBadRequest, "bad max %q", s)
+			return
+		}
+		maxModels = n
+	}
+	snap, ok := pin(w, r, t)
+	if !ok {
+		return
+	}
+	ctx, cancel, err := d.reqCtx(r)
+	if err != nil {
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	release, ok := admit(ctx, w, t)
+	if !ok {
+		return
+	}
+	defer release()
+	tenantCounter(t.Name(), "reads").Inc()
+	models, err := snap.StableModelsCtx(ctx, comp, stable.Options{MaxModels: maxModels})
+	setVersion(w, snap.Version())
+	if err != nil && !partialErr(err) {
+		failf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := stableRespJSON{
+		Tenant: t.Name(), Component: comp, Version: snap.Version(),
+		Count: len(models), Models: make([]json.RawMessage, 0, len(models)),
+	}
+	for _, m := range models {
+		b, jerr := m.JSON(false)
+		if jerr != nil {
+			failf(w, http.StatusInternalServerError, "render model: %v", jerr)
+			return
+		}
+		resp.Models = append(resp.Models, b)
+	}
+	if err != nil {
+		// Partial enumeration: the models found before the deadline or
+		// budget, plus the truncation marker.
+		resp.Truncated = true
+		markTruncated(w)
+		writeJSON(w, http.StatusPartialContent, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

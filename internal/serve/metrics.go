@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"repro/internal/obs"
+)
+
+// Serving-layer metrics, resolved once from the process-global registry
+// (the serve.* family of /debug/metrics). Per-tenant counters are looked
+// up dynamically under serve.tenant.<name>.<op> with the name sanitised to
+// one path segment — tenant churn is not a hot path, and the flat export
+// stays intact whatever callers name their tenants.
+var (
+	mRequests  = obs.Default().Counter("serve.requests")
+	mErrors    = obs.Default().Counter("serve.errors")
+	mRejected  = obs.Default().Counter("serve.admission.rejected")
+	mTruncated = obs.Default().Counter("serve.truncated")
+	mTenants   = obs.Default().Gauge("serve.tenants")
+	hLatency   = obs.Default().Histogram("serve.latency")
+)
+
+// opCounter counts one operation kind daemon-wide: serve.ops.query,
+// serve.ops.update, ...
+func opCounter(op string) *obs.Counter {
+	return obs.Default().Counter("serve.ops." + op)
+}
+
+// tenantCounter counts reads/writes per tenant:
+// serve.tenant.<sanitised-name>.<op>.
+func tenantCounter(tenant, op string) *obs.Counter {
+	return obs.Default().Counter("serve.tenant." + obs.SanitizeSegment(tenant) + "." + op)
+}

@@ -1,0 +1,83 @@
+// Package serve is the network serving layer of the engine: the HTTP/JSON
+// daemon behind cmd/ordlogd (multi-tenant program hosting, snapshot-pinned
+// reads, per-tenant admission control, deadline propagation with partial
+// results) and the hardened http.Server plumbing shared with the
+// cmd/ordlog -metrics-addr endpoint.
+//
+// Wire protocol (all bodies JSON; see DESIGN.md §11):
+//
+//	GET    /healthz                         liveness
+//	GET    /v1/tenants                      list tenants + versions
+//	PUT    /v1/tenants/{t}                  load/replace a program (source text
+//	                                        body, or JSON {"program": "..."})
+//	GET    /v1/tenants/{t}                  tenant info (version, sizes)
+//	DELETE /v1/tenants/{t}                  drop the tenant
+//	POST   /v1/tenants/{t}/update           {"component","facts"} assert facts
+//	POST   /v1/tenants/{t}/retract          {"component","facts"} retract facts
+//	GET    /v1/tenants/{t}/query            ?q=&component=&version=&timeout=
+//	GET    /v1/tenants/{t}/prove            ?lit=&component=&version=&timeout=
+//	GET    /v1/tenants/{t}/stable           ?component=&max=&version=&timeout=
+//
+// Reads pin a snapshot: ?version= re-reads any retained version, the
+// response always carries the version served (body "version" plus the
+// Ordlog-Version header). Deadline expiry returns 206 Partial Content with
+// a truncation marker ("truncated": true, Ordlog-Truncated: true) and
+// whatever partial results the engine's ...Ctx contract produced — not an
+// error. Admission rejection is 429, an evicted pin 410.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer returns an *http.Server hardened for long-lived exposure:
+// a header read timeout (so a slowloris peer trickling header bytes cannot
+// hold a connection forever), an idle keep-alive timeout, and a bounded
+// header size. No global write timeout is set — per-request deadlines come
+// from the ?timeout= parameter and the daemon's defaults, so the handler,
+// not the transport, owns partial-result semantics.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// Serve runs srv on ln until ctx is cancelled, then shuts down gracefully:
+// the listener closes immediately, in-flight requests get up to grace to
+// drain, and only then are connections forced closed. http.ErrServerClosed
+// is the normal clean-exit signal and is swallowed, never returned or worth
+// logging. A non-nil return is a real failure: the listener broke, or the
+// drain exceeded grace (in-flight requests were cut off).
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	// Collect the Serve goroutine's exit; ErrServerClosed is the expected
+	// handoff, anything else surfaces (unless the drain already failed).
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Chi-square sanity check: for several skews, the empirical rank counts of
+// a large sample must match the generator's own exact probabilities. The
+// 0.001 critical value for df = 49 is ~85.4; the seeds are fixed, so the
+// statistic is deterministic and a comfortable margin below the bar — a
+// failure here means the sampler, not the luck, changed.
+func TestZipfChiSquare(t *testing.T) {
+	const n, draws = 50, 200000
+	for _, s := range []float64{0, 0.5, 0.99, 1.1, 1.5} {
+		z := NewZipf(rand.New(rand.NewSource(7)), s, n)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		chi2 := 0.0
+		for k := 0; k < n; k++ {
+			exp := float64(draws) * z.Prob(k)
+			d := float64(counts[k]) - exp
+			chi2 += d * d / exp
+		}
+		if chi2 > 85.4 {
+			t.Errorf("s=%v: chi-square = %.1f over %d ranks, exceeds the df=49 p=0.001 bar 85.4", s, chi2, n)
+		}
+	}
+}
+
+// s = 0 must be uniform: every rank's probability is exactly 1/n.
+func TestZipfZeroSkewUniform(t *testing.T) {
+	const n = 64
+	z := NewZipf(rand.New(rand.NewSource(1)), 0, n)
+	for k := 0; k < n; k++ {
+		if p := z.Prob(k); p < 1.0/n-1e-12 || p > 1.0/n+1e-12 {
+			t.Fatalf("s=0: Prob(%d) = %v, want 1/%d", k, p, n)
+		}
+	}
+}
+
+// Probabilities are monotonically non-increasing in rank and sum to 1.
+func TestZipfProbShape(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1.1, 100)
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		p := z.Prob(k)
+		if p <= 0 {
+			t.Fatalf("Prob(%d) = %v, want > 0", k, p)
+		}
+		if k > 0 && p > z.Prob(k-1)+1e-15 {
+			t.Fatalf("Prob(%d) = %v exceeds Prob(%d) = %v", k, p, k-1, z.Prob(k-1))
+		}
+		sum += p
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(z.N()) != 0 {
+		t.Fatal("out-of-range Prob must be 0")
+	}
+	if z.Skew() != 1.1 {
+		t.Fatalf("Skew = %v, want 1.1", z.Skew())
+	}
+}
+
+// Same seed, same sequence: the harness relies on reproducible workloads.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(rand.New(rand.NewSource(42)), 1.2, 32)
+	b := NewZipf(rand.New(rand.NewSource(42)), 1.2, 32)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d != %d with identical seeds", i, x, y)
+		}
+	}
+}
+
+// High skew concentrates mass at the head: with s = 1.1 over 50 ranks the
+// most popular rank must dominate the least popular by a wide margin.
+func TestZipfSkewConcentrates(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(3)), 1.1, 50)
+	const draws = 50000
+	counts := make([]int, z.N())
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < 10*counts[z.N()-1]+1 {
+		t.Fatalf("head rank drew %d, tail rank %d — skew 1.1 should dominate by >10x", counts[0], counts[z.N()-1])
+	}
+}
+
+func TestZipfRejectsBadParameters(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":  func() { NewZipf(rand.New(rand.NewSource(1)), 1, 0) },
+		"s<0":  func() { NewZipf(rand.New(rand.NewSource(1)), -1, 10) },
+		"@nil": func() { NewZipf(nil, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
