@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	ordlog "repro"
+	"repro/internal/core"
+	"repro/internal/ground"
+)
+
+// B12: magic-set goal-directed grounding. The workload is a right-
+// recursive transitive closure over a chain of n edges — the shape whose
+// full grounding carries ~n^2/2 path instances while a goal anchored at
+// c0 only ever touches the ~n instances reachable from c0 — plus an
+// exception component (so the competitor machinery runs on both sides)
+// and an unrelated item domain the slice skips entirely. Two goals per
+// size: the point goal path(c0, cn) and the bounded join
+// path(c0, X), edge(X, Y).
+
+// b12Source renders the B12 program for chain length n.
+func b12Source(n int) string {
+	var sb strings.Builder
+	sb.WriteString("module base {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  edge(c%d, c%d).\n", i, i+1)
+	}
+	sb.WriteString("  path(X, Y) :- edge(X, Y).\n")
+	sb.WriteString("  path(X, Z) :- path(X, Y), edge(Y, Z).\n")
+	sb.WriteString("}\n")
+	mid := n / 2
+	fmt.Fprintf(&sb, "module exc extends base {\n  -path(X, c%d) :- edge(X, c%d).\n}\n", mid, mid)
+	sb.WriteString("module items {\n")
+	for j := 0; j < n/4; j++ {
+		fmt.Fprintf(&sb, "  item(d%d).\n", j)
+	}
+	sb.WriteString("  ok(X) :- item(X).\n}\n")
+	return sb.String()
+}
+
+// b12Case is one (size, goal) measurement: ground-rule counts and
+// wall times for the full grounding versus the goal's slice.
+type b12Case struct {
+	n         int
+	goal      string
+	fullRules int
+	goalRules int
+	fullT     time.Duration
+	slicedT   time.Duration
+	identical bool
+}
+
+// b12Measure grounds the size-n program fully and sliced for both goals,
+// times the end-to-end answer path (engine construction + query) on each
+// side, and checks the answers are byte-identical.
+func b12Measure(n int) []b12Case {
+	ctx := context.Background()
+	prog := must(ordlog.ParseProgram(b12Source(n)))
+	point := fmt.Sprintf("path(c0, c%d)", n)
+	join := "path(c0, X), edge(X, Y)"
+	goals := []string{point, join}
+
+	fullOpts := ground.DefaultOptions()
+	var fullRules int
+	fullT := timeIt(func() {
+		g := must(ground.Ground(prog, fullOpts))
+		fullRules = len(g.Rules)
+	})
+
+	fullEng := must(ordlog.NewEngine(prog, ordlog.Config{}))
+	gdEng := must(ordlog.NewEngine(prog, ordlog.Config{GoalDirected: true}))
+
+	out := make([]b12Case, 0, len(goals))
+	for _, goalSrc := range goals {
+		q := must(ordlog.Parse("?- " + goalSrc + ".")).Queries[0]
+		opts := ground.DefaultOptions()
+		opts.Goal = q.Body
+		var goalRules int
+		slicedT := timeIt(func() {
+			g := must(ground.Ground(prog, opts))
+			goalRules = len(g.Rules)
+		})
+		// Byte-identical answers: the full engine's and the goal-directed
+		// engine's renderings of the same query must match exactly.
+		want := string(must(core.BindingsJSON(q, must(fullEng.QueryCtx(ctx, "exc", q)))))
+		got := string(must(core.BindingsJSON(q, must(gdEng.QueryCtx(ctx, "exc", q)))))
+		out = append(out, b12Case{
+			n: n, goal: goalSrc,
+			fullRules: fullRules, goalRules: goalRules,
+			fullT: fullT, slicedT: slicedT,
+			identical: want == got,
+		})
+	}
+	// The point literal also goes through the goal-directed prover.
+	lit := must(ordlog.ParseLiteral(point))
+	if must(fullEng.ProveCtx(ctx, "exc", lit)) != must(gdEng.ProveCtx(ctx, "exc", lit)) {
+		out[0].identical = false
+	}
+	return out
+}
+
+func b12Sizes() []int {
+	if *quick {
+		return []int{100, 200}
+	}
+	return []int{400, 800, 1600}
+}
+
+func b12() {
+	header("B12: magic-set goal-directed grounding vs full (chain transitive closure)")
+	w := tw()
+	fmt.Fprintln(w, "chain n\tgoal\tfull instances\tsliced instances\tfull/sliced\tfull ground\tsliced ground\tanswers identical")
+	for _, n := range b12Sizes() {
+		for _, c := range b12Measure(n) {
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%.1fx\t%v\t%v\t%v\n",
+				c.n, c.goal, c.fullRules, c.goalRules,
+				float64(c.fullRules)/float64(c.goalRules), c.fullT, c.slicedT, c.identical)
+		}
+	}
+	w.Flush()
+	fmt.Println("note: full instances grow ~n^2/2 (every reachable pair) while the c0-anchored")
+	fmt.Println("      slice stays ~n; the unrelated item domain and the pairs not starting at")
+	fmt.Println("      c0 are never instantiated goal-directedly")
+}
+
+// b12JSON emits the B12 measurements in the BENCH_*.json record shape:
+// one GroundFull record per size and one GroundSliced record per
+// (size, goal), each carrying its ground-instance count in the metrics
+// object (answers_identical is 1 when the full and sliced answers render
+// byte-identically).
+func b12JSON() []benchResult {
+	var out []benchResult
+	for _, n := range b12Sizes() {
+		cases := b12Measure(n)
+		out = append(out, benchResult{
+			Name:    fmt.Sprintf("B12GroundFull/chain_n=%d", n),
+			NsOp:    cases[0].fullT.Nanoseconds(),
+			Metrics: map[string]int64{"instances": int64(cases[0].fullRules)},
+		})
+		for i, c := range cases {
+			kind := "point"
+			if i == 1 {
+				kind = "join"
+			}
+			identical := int64(0)
+			if c.identical {
+				identical = 1
+			}
+			out = append(out, benchResult{
+				Name: fmt.Sprintf("B12GroundSliced/chain_n=%d_goal=%s", n, kind),
+				NsOp: c.slicedT.Nanoseconds(),
+				Metrics: map[string]int64{
+					"instances":         int64(c.goalRules),
+					"full_instances":    int64(c.fullRules),
+					"answers_identical": identical,
+					"gomaxprocs":        int64(runtime.GOMAXPROCS(0)),
+				},
+			})
+		}
+	}
+	return out
+}

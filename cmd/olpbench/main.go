@@ -5,13 +5,15 @@
 //
 // Usage:
 //
-//	olpbench [-exp all|figures|B1..B10|shards] [-quick] [-parallel]
+//	olpbench [-exp all|figures|B1..B12|shards] [-quick] [-parallel]
 //	         [-workers n] [-shards list] [-timeout d] [-json] [-metrics]
 //
 // -json runs a fixed set of B1–B5, B7 and B10 measurements and emits a
 // JSON array of {name, ns_op, allocs_op} records to stdout — the same
 // shape the repo's BENCH_*.json trajectory files use — instead of the
-// tables.
+// tables. `-exp B12 -json` instead emits only the goal-directed grounding
+// records (full-vs-sliced ground-instance counts and times per goal, the
+// BENCH_8.json shape).
 //
 // -shards takes a comma-separated list of shard counts (e.g. 1,2,4,8) and
 // adds the sharded grounding + fixpoint sweep: with -json one
@@ -73,6 +75,7 @@ var (
 	metrics  = flag.Bool("metrics", false, "keep engine counters enabled and append their per-op deltas to -json records")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	shardsF  = flag.String("shards", "", "comma-separated shard counts for the sharded grounding/fixpoint sweep (e.g. 1,2,4,8)")
+	exp      = flag.String("exp", "all", "experiment id: all | figures | B1..B12 | shards")
 )
 
 // shardList parses -shards; the sweep defaults to 1,2,4,8 when the flag is
@@ -99,7 +102,6 @@ func shardList() []int {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all | figures | B1..B10 | shards")
 	flag.Parse()
 	if !*metrics {
 		obs.SetEnabled(false)
@@ -136,6 +138,7 @@ func main() {
 	run("B8", b8)
 	run("B9", b9)
 	run("B10", b10)
+	run("B12", b12)
 	// The sharded sweep is opt-in under -exp all: it re-measures B3/B1
 	// workloads per shard count, so only run it when asked for by name or
 	// by an explicit -shards list.
@@ -262,6 +265,13 @@ func benchJSON() {
 	var results []benchResult
 	add := func(r benchResult) { results = append(results, r) }
 
+	// -exp B12 -json emits only the goal-directed grounding records — the
+	// shape BENCH_8.json and the CI bench-smoke artifact use.
+	if strings.EqualFold(*exp, "B12") {
+		emitJSON(b12JSON())
+		return
+	}
+
 	// B1: semi-naive fixpoint on a pre-ground view.
 	{
 		_, v := ovViewOf(workload.AncestorChain(32))
@@ -364,6 +374,10 @@ func benchJSON() {
 		add(benchResult{Name: fmt.Sprintf("B10UpdateRebuild/n=%d_k=%d", n, k), NsOp: rebuild.Nanoseconds()})
 	}
 
+	emitJSON(results)
+}
+
+func emitJSON(results []benchResult) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

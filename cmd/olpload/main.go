@@ -151,18 +151,19 @@ func run(o opts) error {
 			if now.After(deadline) {
 				break
 			}
+			seq := int64(slot)
 			s := slot % o.conns
 			slot++
 			wg.Add(1)
-			go func(s int, scheduled time.Time) {
+			go func(s int, seq int64, scheduled time.Time) {
 				defer wg.Done()
-				rng := rand.New(rand.NewSource(o.seed + int64(s)*7919 + scheduled.UnixNano()%104729))
+				rng := rand.New(rand.NewSource(openLoopSeed(o.seed, s, seq)))
 				t := &tally{}
 				oneOp(client, o, rng, &writeSeq, t, scheduled)
 				mu.Lock()
 				tallies[s].merge(t)
 				mu.Unlock()
-			}(s, now)
+			}(s, seq, now)
 		}
 	} else {
 		// Closed loop: each connection issues its next request as soon as
@@ -261,31 +262,60 @@ func createTenants(client *http.Client, o opts) error {
 	return nil
 }
 
-// oneOp issues one operation: tenant picked by Zipf, then a write (fresh
-// mark fact) or a read (path goal picked by Zipf, heaviest goal most
-// popular). Latency is measured from `scheduled`.
-func oneOp(client *http.Client, o opts, rng *rand.Rand, writeSeq *atomic.Int64, t *tally, scheduled time.Time) {
+// openLoopSeed derives the RNG seed for one scheduled open-loop op as a
+// pure function of -seed, the worker slot, and the tick index — never the
+// wall clock — so two runs with the same flags issue identical request
+// streams (modulo the write sequence numbers, which are globally fresh by
+// design).
+func openLoopSeed(seed int64, slot int, seq int64) int64 {
+	return seed + int64(slot)*7919 + seq*104729
+}
+
+// opKind is the deterministic part of one generated operation: which
+// tenant, write or read, and (for reads) which goal. Everything the RNG
+// decides lives here so determinism is testable without a daemon.
+type opKind struct {
+	tenant string
+	write  bool
+	goal   string
+}
+
+// nextOp draws one operation from the RNG: tenant picked by Zipf, then a
+// write or a read with the goal picked by Zipf (heaviest goal most
+// popular).
+func nextOp(rng *rand.Rand, o opts) opKind {
 	tz := workload.NewZipf(rng, o.tenantSkew, o.tenants)
 	gz := workload.NewZipf(rng, o.goalSkew, o.chain-1)
-	tenant := tenantName(tz.Next())
+	k := opKind{tenant: tenantName(tz.Next())}
+	if rng.Float64() < o.writeRatio {
+		k.write = true
+		return k
+	}
+	k.goal = fmt.Sprintf("path(c%d,X)", gz.Next())
+	return k
+}
+
+// oneOp issues one operation drawn from the RNG (see nextOp). Latency is
+// measured from `scheduled`.
+func oneOp(client *http.Client, o opts, rng *rand.Rand, writeSeq *atomic.Int64, t *tally, scheduled time.Time) {
+	k := nextOp(rng, o)
 	var (
 		resp *http.Response
 		err  error
 		hist *batch.Histogram
 	)
-	if rng.Float64() < o.writeRatio {
+	if k.write {
 		hist = &t.write
 		t.writes++
 		fact := fmt.Sprintf(`{"component":"main","facts":"mark(w%d)."}`, writeSeq.Add(1))
 		resp, err = client.Post(
-			o.addr+"/v1/tenants/"+tenant+"/update?timeout="+o.opTimeout.String(),
+			o.addr+"/v1/tenants/"+k.tenant+"/update?timeout="+o.opTimeout.String(),
 			"application/json", bytes.NewReader([]byte(fact)))
 	} else {
 		hist = &t.read
 		t.reads++
-		goal := fmt.Sprintf("path(c%d,X)", gz.Next())
 		resp, err = client.Get(
-			o.addr + "/v1/tenants/" + tenant + "/query?q=" + goal + "&timeout=" + o.opTimeout.String())
+			o.addr + "/v1/tenants/" + k.tenant + "/query?q=" + k.goal + "&timeout=" + o.opTimeout.String())
 	}
 	lat := time.Since(scheduled)
 	if err != nil {

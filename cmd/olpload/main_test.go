@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The open-loop request stream must be a pure function of -seed, the
+// worker slot, and the tick index: re-running with the same flags replays
+// the same tenants, read/write choices and goals. This pinned a real bug —
+// the per-tick seed used to mix in the scheduled wall-clock instant, so no
+// two runs were comparable.
+func TestSameSeedSameRequestStream(t *testing.T) {
+	o := opts{
+		tenants:    4,
+		tenantSkew: 0.99,
+		goalSkew:   0.99,
+		chain:      24,
+		writeRatio: 0.3,
+		conns:      8,
+	}
+	stream := func(seed int64) []opKind {
+		out := make([]opKind, 0, 256)
+		for seq := int64(0); seq < 256; seq++ {
+			slot := int(seq) % o.conns
+			rng := rand.New(rand.NewSource(openLoopSeed(seed, slot, seq)))
+			out = append(out, nextOp(rng, o))
+		}
+		return out
+	}
+	a, b := stream(1), stream(1)
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same seed diverged at op %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatal("same seed produced different streams")
+	}
+	if c := stream(2); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical 256-op streams")
+	}
+	// Sanity: the stream actually mixes ops — both kinds and several
+	// tenants appear, so the determinism above is not vacuous.
+	tenants := map[string]bool{}
+	writes := 0
+	for _, k := range a {
+		tenants[k.tenant] = true
+		if k.write {
+			writes++
+		}
+	}
+	if len(tenants) < 2 || writes == 0 || writes == len(a) {
+		t.Fatalf("degenerate stream: %d tenants, %d/%d writes", len(tenants), writes, len(a))
+	}
+}
+
+// The seed derivation itself must not depend on anything but its inputs.
+func TestOpenLoopSeedPure(t *testing.T) {
+	if openLoopSeed(1, 3, 17) != openLoopSeed(1, 3, 17) {
+		t.Fatal("openLoopSeed is not deterministic")
+	}
+	if openLoopSeed(1, 3, 17) == openLoopSeed(2, 3, 17) {
+		t.Fatal("seed does not feed the derivation")
+	}
+	if openLoopSeed(1, 3, 17) == openLoopSeed(1, 3, 18) {
+		t.Fatal("tick index does not feed the derivation")
+	}
+}

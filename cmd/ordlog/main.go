@@ -16,6 +16,10 @@
 //	-mode m            smart | full grounding (default smart)
 //	-explain atom      print the rule statuses around one ground atom
 //	-prove literal     goal-directed proof with derivation tree
+//	-goal-directed     answer the file's queries and -prove from per-goal
+//	                   magic-set slices: only the query-reachable part of
+//	                   the program is grounded, no full model is printed
+//	                   (least-model semantics only; requires -mode smart)
 //	-edb file          merge a facts file into the target component
 //	-parallel n        answer the file's queries over a worker pool of n
 //	                   goroutines (0 = sequential, -1 = GOMAXPROCS); the
@@ -35,8 +39,10 @@
 //	-metrics-hold d    keep the metrics listener up this long after the run
 //	                   finishes (so one-shot runs can be scraped; default 0)
 //	-i                 interactive shell (see internal/repl)
-//	-analyze           static diagnostics (internal/analyze) and exit
-//	-dot order|deps    GraphViz of the component lattice or predicate deps
+//	-analyze           static diagnostics (internal/analyze) and exit;
+//	                   with -prove also lints rules unreachable from the goal
+//	-dot order|deps    GraphViz of the component lattice or predicate deps;
+//	                   deps with -prove renders the adorned graph for the goal
 package main
 
 import (
@@ -70,6 +76,7 @@ func main() {
 	mode := flag.String("mode", "smart", "smart | full grounding")
 	explain := flag.String("explain", "", "ground atom to explain")
 	prove := flag.String("prove", "", "ground literal to prove goal-directedly")
+	goalDirected := flag.Bool("goal-directed", false, "answer queries and -prove from per-goal magic-set slices (no full model)")
 	edb := flag.String("edb", "", "facts file merged into the target component before grounding")
 	parallel := flag.Int("parallel", 0, "answer queries over a worker pool (0 = sequential, -1 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "shard grounding and least-model fixpoints over n workers (0 or 1 = sequential)")
@@ -92,7 +99,7 @@ func main() {
 		stopMetrics = shutdown
 	}
 	if (*analyzeFlag || *dot != "") && flag.NArg() == 1 {
-		if err := runAnalysis(flag.Arg(0), *analyzeFlag, *dot); err != nil {
+		if err := runAnalysis(flag.Arg(0), *analyzeFlag, *dot, *prove); err != nil {
 			fmt.Fprintln(os.Stderr, "ordlog:", err)
 			os.Exit(1)
 		}
@@ -117,7 +124,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *shards, *jsonOut, *stats)
+	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *shards, *goalDirected, *jsonOut, *stats)
 	if *metricsAddr != "" && *metricsHold > 0 {
 		fmt.Fprintf(os.Stderr, "ordlog: holding metrics listener for %s\n", *metricsHold)
 		time.Sleep(*metricsHold)
@@ -166,13 +173,27 @@ func serveMetrics(addr string) (shutdown func(), err error) {
 	}, nil
 }
 
-func runAnalysis(path string, diags bool, dot string) error {
+func runAnalysis(path string, diags bool, dot, prove string) error {
 	res, err := ordlog.ParseFile(path)
 	if err != nil {
 		return err
 	}
+	// A -prove goal adorns the analysis: the lint gains the rules
+	// unreachable from the goal, the deps graph gains binding patterns.
+	var goal []ordlog.Literal
+	if prove != "" {
+		lit, err := ordlog.ParseLiteral(prove)
+		if err != nil {
+			return fmt.Errorf("-prove: %v", err)
+		}
+		goal = []ordlog.Literal{lit}
+	}
 	if diags {
-		for _, d := range analyze.Program(res.Program) {
+		ds := analyze.Program(res.Program)
+		if goal != nil {
+			ds = append(ds, analyze.GoalUnreachable(res.Program, goal)...)
+		}
+		for _, d := range ds {
 			fmt.Println(d)
 		}
 	}
@@ -181,7 +202,11 @@ func runAnalysis(path string, diags bool, dot string) error {
 	case "order":
 		fmt.Print(analyze.OrderDOT(res.Program))
 	case "deps":
-		fmt.Print(analyze.DepsDOT(res.Program))
+		if goal != nil {
+			fmt.Print(analyze.AdornedDepsDOT(res.Program, goal))
+		} else {
+			fmt.Print(analyze.DepsDOT(res.Program))
+		}
 	default:
 		return fmt.Errorf("unknown -dot %q (want order or deps)", dot)
 	}
@@ -209,7 +234,28 @@ func runREPL(args []string) error {
 	return repl.New(prog, core.Config{}, os.Stdout).Run(os.Stdin)
 }
 
-func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel, shards int, jsonOut, stats bool) error {
+// printBindings renders one query's answers, one indented line per
+// binding ("true" for the empty binding of a ground query).
+func printBindings(q ordlog.Query, answers []ordlog.Binding) {
+	for _, b := range answers {
+		if len(b) == 0 {
+			fmt.Println("  true")
+			continue
+		}
+		line := "  "
+		first := true
+		for _, v := range q.Vars() {
+			if !first {
+				line += ", "
+			}
+			first = false
+			line += v.Name + " = " + b[v.Name].String()
+		}
+		fmt.Println(line)
+	}
+}
+
+func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel, shards int, goalDirected, jsonOut, stats bool) error {
 	res, err := ordlog.ParseFile(path)
 	if err != nil {
 		return err
@@ -267,6 +313,15 @@ func run(ctx context.Context, path, component, semantics, models string, maxMode
 		return fmt.Errorf("-shards must be >= 0")
 	}
 	cfg.Shards = shards
+	if goalDirected {
+		if models != "least" {
+			return fmt.Errorf("-goal-directed answers least-model queries only (got -models %s)", models)
+		}
+		if explain != "" {
+			return fmt.Errorf("-explain needs the full model; drop -goal-directed")
+		}
+		cfg.GoalDirected = true
+	}
 
 	eng, err := ordlog.NewEngineCtx(ctx, prog, cfg)
 	if err != nil {
@@ -288,14 +343,56 @@ func run(ctx context.Context, path, component, semantics, models string, maxMode
 		if err != nil {
 			return fmt.Errorf("-prove: %v", err)
 		}
-		tree, ok, err := eng.ProveExplainCtx(ctx, component, lit)
-		if err != nil {
-			return err
+		if goalDirected {
+			// The proof runs over the literal's magic-set slice; the
+			// derivation tree is an -explain-style full-model feature.
+			ok, err := eng.ProveCtx(ctx, component, lit)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%% prove %s in %s: %v (goal-directed)\n", lit, component, ok)
+		} else {
+			tree, ok, err := eng.ProveExplainCtx(ctx, component, lit)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%% prove %s in %s: %v\n", lit, component, ok)
+			if ok {
+				fmt.Print(tree)
+			}
 		}
-		fmt.Printf("%% prove %s in %s: %v\n", lit, component, ok)
-		if ok {
-			fmt.Print(tree)
+	}
+
+	// Goal-directed mode prints answers only: each query grounds and
+	// evaluates just its own slice, so materialising (or printing) the
+	// full least model would defeat the point.
+	if goalDirected {
+		workers := parallel
+		if workers < 0 {
+			workers = 0 // batch treats 0 as GOMAXPROCS
 		}
+		reqs := make([]ordlog.QueryRequest, len(res.Queries))
+		for i, q := range res.Queries {
+			reqs[i] = ordlog.QueryRequest{Comp: component, Query: q}
+		}
+		results := eng.QueryBatchCtx(ctx, reqs, ordlog.BatchOptions{Workers: workers})
+		for qi, q := range res.Queries {
+			if results[qi].Err != nil {
+				return results[qi].Err
+			}
+			answers := results[qi].Bindings
+			if jsonOut {
+				jb, err := core.BindingsJSON(q, answers)
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(jb))
+				continue
+			}
+			fmt.Printf("%s  %% %d answers\n", q, len(answers))
+			printBindings(q, answers)
+		}
+		return nil
 	}
 
 	if models == "cautious" {
@@ -405,22 +502,7 @@ func run(ctx context.Context, path, component, semantics, models string, maxMode
 		for qi, q := range res.Queries {
 			answers := modelAnswers[qi]
 			fmt.Printf("%s  %% %d answers\n", q, len(answers))
-			for _, b := range answers {
-				if len(b) == 0 {
-					fmt.Println("  true")
-					continue
-				}
-				line := "  "
-				first := true
-				for _, v := range q.Vars() {
-					if !first {
-						line += ", "
-					}
-					first = false
-					line += v.Name + " = " + b[v.Name].String()
-				}
-				fmt.Println(line)
-			}
+			printBindings(q, answers)
 		}
 	}
 

@@ -19,6 +19,10 @@
 //	-max-timeout d     cap on ?timeout= (default 30s)
 //	-grace d           drain budget for graceful shutdown (default 10s)
 //	-shards n          engine shards per tenant (0 or 1 = sequential)
+//	-goal-directed     answer /query and /prove from per-goal magic-set
+//	                   slices (cached per snapshot, keyed by the goal's
+//	                   binding pattern; ?version= pinning is honoured and
+//	                   updates invalidate automatically)
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
 // in-flight requests get up to -grace to finish, and the exit status
@@ -63,6 +67,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on ?timeout=")
 	grace := flag.Duration("grace", 10*time.Second, "drain budget for graceful shutdown")
 	shards := flag.Int("shards", 0, "engine shards per tenant (0 or 1 = sequential)")
+	goalDirected := flag.Bool("goal-directed", false, "answer /query and /prove from per-goal magic-set slices")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload tenant from file: name=path (repeatable)")
 	flag.Parse()
@@ -72,12 +77,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	engCfg := core.Config{Shards: *shards, GoalDirected: *goalDirected}
 	d := serve.New(serve.Config{
 		InFlight:       *inflight,
 		Retain:         *retain,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
-		Engine:         core.Config{Shards: *shards},
+		Engine:         engCfg,
 	})
 	for _, l := range loads {
 		res, err := ordlog.ParseFile(l.path)
@@ -85,7 +91,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ordlogd: -load %s: %v\n", l.name, err)
 			os.Exit(1)
 		}
-		if _, _, err := d.Registry().Put(context.Background(), l.name, res.Program, core.Config{Shards: *shards}); err != nil {
+		if _, _, err := d.Registry().Put(context.Background(), l.name, res.Program, engCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "ordlogd: -load %s: %v\n", l.name, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,137 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/relevance"
+)
+
+// Goal-directed diagnostics: given a query goal, the adorned predicate
+// dependency analysis (internal/relevance) splits the program into the
+// slice a goal-directed evaluation would ground and the rules it would
+// skip. GoalUnreachable surfaces the skipped part as lint — dead weight
+// for this goal — and AdornedDepsDOT renders the dependency graph with
+// the adornments and demand status the slice is built from.
+
+// GoalUnreachable reports, per component, the rules the goal's demand
+// closure never reaches: a goal-directed evaluation of the goal grounds
+// none of their instances. A component whose every rule is unreachable is
+// flagged as a whole. Purely informational — unreachable rules are only
+// dead weight for this particular goal, not defects.
+func GoalUnreachable(p *ast.OrderedProgram, goal []ast.Literal) []Diagnostic {
+	a := relevance.Analyze(p, goal)
+	var out []Diagnostic
+	for _, c := range p.Components {
+		var dead []string
+		seen := make(map[string]bool)
+		for _, r := range c.Rules {
+			if a.RuleDemanded(r) {
+				continue
+			}
+			k := r.Head.Atom.Key().String()
+			if r.Head.Neg {
+				k = "-" + k
+			}
+			if !seen[k] {
+				seen[k] = true
+				dead = append(dead, k)
+			}
+		}
+		if len(dead) == 0 {
+			continue
+		}
+		sort.Strings(dead)
+		msg := fmt.Sprintf("unreachable from goal %s: rules for %s are never grounded goal-directedly",
+			relevance.GoalKey(goal), strings.Join(dead, ", "))
+		if !anyDemanded(a, c.Rules) {
+			msg = fmt.Sprintf("entire component is unreachable from goal %s (rules for %s)",
+				relevance.GoalKey(goal), strings.Join(dead, ", "))
+		}
+		out = append(out, Diagnostic{Severity: Info, Component: c.Name, Message: msg})
+	}
+	return out
+}
+
+func anyDemanded(a *relevance.Analysis, rules []*ast.Rule) bool {
+	for _, r := range rules {
+		if a.RuleDemanded(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// AdornedDepsDOT renders the predicate dependency graph adorned for the
+// goal: node labels carry the binding pattern ("path/2^bf"), demanded
+// predicates are solid boxes (doubled for restricted ones, whose magic
+// guards actually prune instances), predicates outside the demand closure
+// are greyed, and edges keep DepsDOT's conventions (dashed for negative
+// body literals, red for negative heads).
+func AdornedDepsDOT(p *ast.OrderedProgram, goal []ast.Literal) string {
+	a := relevance.Analyze(p, goal)
+	type edge struct {
+		from, to ast.PredKey
+		negBody  bool
+		negHead  bool
+	}
+	nodes := make(map[ast.PredKey]bool)
+	seen := make(map[string]bool)
+	var edges []edge
+	for _, c := range p.Components {
+		for _, r := range c.Rules {
+			h := r.Head.Atom.Key()
+			nodes[h] = true
+			for _, l := range r.Body {
+				nodes[l.Atom.Key()] = true
+				e := edge{from: h, to: l.Atom.Key(), negBody: l.Neg, negHead: r.Head.Neg}
+				k := fmt.Sprintf("%v", e)
+				if !seen[k] {
+					seen[k] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+	for _, l := range goal {
+		nodes[l.Atom.Key()] = true
+	}
+	keys := make([]ast.PredKey, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	sort.Slice(edges, func(i, j int) bool {
+		return fmt.Sprintf("%v", edges[i]) < fmt.Sprintf("%v", edges[j])
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph adorned {\n  label=%q;\n  node [shape=box];\n", "goal: "+relevance.GoalKey(goal))
+	for _, k := range keys {
+		attrs := []string{fmt.Sprintf("label=%q", a.AdornString(k))}
+		switch {
+		case a.Restricted(k):
+			attrs = append(attrs, "peripheries=2")
+		case !a.Demanded[k]:
+			attrs = append(attrs, "color=grey", "fontcolor=grey")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", k.String(), strings.Join(attrs, ","))
+	}
+	for _, e := range edges {
+		var attrs []string
+		if e.negBody {
+			attrs = append(attrs, "style=dashed")
+		}
+		if e.negHead {
+			attrs = append(attrs, "color=red")
+		}
+		suffix := ""
+		if len(attrs) > 0 {
+			suffix = " [" + strings.Join(attrs, ",") + "]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.from.String(), e.to.String(), suffix)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+const goalSrc = `
+module base {
+  edge(c0, c1). edge(c1, c2).
+  path(X, Y) :- edge(X, Y).
+  path(X, Z) :- path(X, Y), edge(Y, Z).
+}
+module exc extends base {
+  -path(X, c2) :- edge(X, c2).
+}
+module junk {
+  jedge(c0, c1).
+  jpath(X, Y) :- jedge(X, Y).
+}
+`
+
+func goalLits(t *testing.T, srcs ...string) []ast.Literal {
+	t.Helper()
+	out := make([]ast.Literal, len(srcs))
+	for i, s := range srcs {
+		l, err := parser.ParseLiteral(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func TestGoalUnreachable(t *testing.T) {
+	p, err := parser.ParseProgram(goalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := analyze.GoalUnreachable(p, goalLits(t, "path(c0, X)"))
+	s := joined(ds)
+	if !strings.Contains(s, "junk") || !strings.Contains(s, "entire component is unreachable") {
+		t.Errorf("junk component not flagged:\n%s", s)
+	}
+	for _, d := range ds {
+		if d.Component != "junk" {
+			t.Errorf("reachable component flagged: %s", d)
+		}
+		if d.Severity != analyze.Info {
+			t.Errorf("goal-unreachable lint should be informational: %s", d)
+		}
+	}
+	// A goal over the junk component flips the picture: base and exc
+	// become unreachable, each named with the dead head predicates.
+	ds2 := analyze.GoalUnreachable(p, goalLits(t, "jpath(c0, X)"))
+	s2 := joined(ds2)
+	for _, want := range []string{"base", "exc", "path/2", "-path/2"} {
+		if !strings.Contains(s2, want) {
+			t.Errorf("missing %q in:\n%s", want, s2)
+		}
+	}
+	if strings.Contains(s2, "junk:") {
+		t.Errorf("goal's own component flagged:\n%s", s2)
+	}
+}
+
+func TestAdornedDepsDOT(t *testing.T) {
+	p, err := parser.ParseProgram(goalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := analyze.AdornedDepsDOT(p, goalLits(t, "path(c0, X)"))
+	for _, want := range []string{
+		"digraph adorned",
+		`label="goal: path/2(c0,_)"`,
+		`label="path/2^bf"`, // right-recursive TC adorns bound-free
+		"peripheries=2",     // path/2 is restricted: doubled border
+		// Undemanded predicates carry no adornment — they are never called.
+		`"jpath/2" [label="jpath/2",color=grey,fontcolor=grey];`,
+		`"path/2" -> "edge/2"`, // plain dependency edges survive
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("AdornedDepsDOT missing %q:\n%s", want, dot)
+		}
+	}
+	// The exception rule's negative head keeps DepsDOT's red edge.
+	if !strings.Contains(dot, "color=red") {
+		t.Errorf("negative-head edge not marked:\n%s", dot)
+	}
+}

@@ -101,7 +101,7 @@ func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config, opts .
 // unless the latter was set explicitly.
 func (e *Engine) groundOpts() ground.Options {
 	opts := e.cfg.Ground
-	if opts == (ground.Options{}) {
+	if opts.IsZero() {
 		opts = ground.DefaultOptions()
 	}
 	if opts.Shards == 0 {

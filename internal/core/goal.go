@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/ground"
+	"repro/internal/interp"
+	"repro/internal/interrupt"
+	"repro/internal/obs"
+	"repro/internal/proof"
+	"repro/internal/relevance"
+)
+
+// Goal-directed querying: with Config.GoalDirected set, least-model
+// queries and proofs evaluate against a magic-set slice of the program
+// grounded for the specific goal (ground.Options.Goal) instead of the full
+// grounding. Slices are memoised per snapshot in a small LRU keyed by the
+// goal's binding pattern (relevance.GoalKey): queries that differ only in
+// variable names or literal order share a slice, every snapshot starts
+// with an empty cache — so updates invalidate automatically — and pinned
+// snapshots keep answering from their own version's slices.
+
+// sliceCacheSize bounds the number of per-goal slices one snapshot keeps.
+const sliceCacheSize = 32
+
+// sliceCache is the per-snapshot LRU of goal slices. The zero value is
+// ready to use; entries are created on demand under the mutex.
+type sliceCache struct {
+	mu      sync.Mutex
+	tick    uint64
+	entries map[string]*sliceEntry
+}
+
+type sliceEntry struct {
+	slice *goalSlice
+	used  uint64
+}
+
+// goalSlice holds one goal's sliced grounding and its lazily built
+// per-component artifacts, mirroring compState for the full grounding.
+// The grounding itself is a singleflight cell so concurrent queries with
+// the same binding pattern ground the slice exactly once.
+type goalSlice struct {
+	goal []ast.Literal
+	gp   lazyCell[*ground.Program]
+
+	mu    sync.Mutex
+	comps map[int]*goalComp
+}
+
+// goalComp mirrors compState: the slice's evaluation view, least model and
+// memoising prover for one component.
+type goalComp struct {
+	viewOnce sync.Once
+	view     *eval.View
+
+	least lazyCell[*Model]
+
+	proverSem chan struct{}
+	prover    *proof.Prover
+}
+
+// goalSliceFor returns the snapshot's cached slice state for the goal,
+// creating (and, at capacity, evicting the least recently used) entry
+// under the cache lock. Only bookkeeping happens here — grounding runs
+// outside the lock, in the slice's own singleflight cell.
+func (s *Snapshot) goalSliceFor(goal []ast.Literal) *goalSlice {
+	key := relevance.GoalKey(goal)
+	c := &s.slices
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	if e, ok := c.entries[key]; ok {
+		e.used = c.tick
+		if obs.On() {
+			mSliceHits.Inc()
+		}
+		return e.slice
+	}
+	if c.entries == nil {
+		c.entries = make(map[string]*sliceEntry, sliceCacheSize)
+	} else if len(c.entries) >= sliceCacheSize {
+		var lruKey string
+		var lru *sliceEntry
+		for k, e := range c.entries {
+			if lru == nil || e.used < lru.used {
+				lruKey, lru = k, e
+			}
+		}
+		delete(c.entries, lruKey)
+		if obs.On() {
+			mSliceEvictions.Inc()
+		}
+	}
+	gs := &goalSlice{goal: goal, comps: make(map[int]*goalComp)}
+	c.entries[key] = &sliceEntry{slice: gs, used: c.tick}
+	if obs.On() {
+		mSliceMisses.Inc()
+	}
+	return gs
+}
+
+// sliceProgram grounds (or returns the memoised) sliced program for the
+// goal as of this snapshot. Updates since the engine's initial grounding
+// are folded in by slicing the effective program — the same source a
+// reground fallback would rebuild from — so sliced answers always reflect
+// this version's fact base.
+func (s *Snapshot) sliceProgram(ctx context.Context, gs *goalSlice) (*ground.Program, error) {
+	return gs.gp.get(ctx, "core: goal-slice wait", func(runCtx context.Context) (*ground.Program, error) {
+		src := s.eng.src
+		if len(s.log) > 0 {
+			var err error
+			src, err = effectiveProgram(s.eng.src, s.log)
+			if err != nil {
+				return nil, err
+			}
+		}
+		opts := s.eng.groundOpts()
+		opts.Goal = gs.goal
+		gp, err := ground.GroundCtx(runCtx, src, opts)
+		if err != nil {
+			return nil, err
+		}
+		if s.eng.trace.Enabled() {
+			s.eng.trace.Emit(obs.E("slice",
+				obs.F("goal", relevance.GoalKey(gs.goal)),
+				obs.F("rules", len(gp.Rules)),
+				obs.F("version", s.version)))
+		}
+		return gp, nil
+	}, nil)
+}
+
+// comp returns the slice's per-component state, creating it on first use.
+func (gs *goalSlice) comp(i int) *goalComp {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	gc, ok := gs.comps[i]
+	if !ok {
+		gc = &goalComp{proverSem: make(chan struct{}, 1)}
+		gs.comps[i] = gc
+	}
+	return gc
+}
+
+// viewOf builds the slice's evaluation view for the component exactly
+// once. Slices are never updated in place, so there is no dead set.
+func (gc *goalComp) viewOf(gp *ground.Program, i int) *eval.View {
+	gc.viewOnce.Do(func() {
+		gc.view = eval.NewViewOf(gp, i, gp.Rules, nil)
+	})
+	return gc.view
+}
+
+// QueryGoalDirected is QueryGoalDirectedCtx with a background context.
+func (s *Snapshot) QueryGoalDirected(comp string, q ast.Query) ([]Binding, error) {
+	return s.QueryGoalDirectedCtx(context.Background(), comp, q)
+}
+
+// QueryGoalDirectedCtx answers a conjunctive least-model query from the
+// goal's magic-set slice: the query body is the goal, the slice is
+// grounded (once, cached) for this snapshot, and the query evaluates
+// against the slice's least model in the component. Answers are identical
+// to QueryCtx's on the full grounding. The query must have a non-empty
+// body — with no literals there is nothing to slice by.
+func (s *Snapshot) QueryGoalDirectedCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
+	if len(q.Body) == 0 {
+		return nil, fmt.Errorf("core: goal-directed query needs at least one literal")
+	}
+	i, err := s.resolve(comp)
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.sliceModel(ctx, i, q.Body)
+	if err != nil {
+		return nil, err
+	}
+	return m.Query(q), nil
+}
+
+// sliceModel returns the least model of the goal's slice in component i,
+// computing and memoising it with the same singleflight/cancellation
+// contract as Snapshot.LeastModelCtx.
+func (s *Snapshot) sliceModel(ctx context.Context, i int, goal []ast.Literal) (*Model, error) {
+	gs := s.goalSliceFor(goal)
+	gp, err := s.sliceProgram(ctx, gs)
+	if err != nil {
+		return nil, err
+	}
+	gc := gs.comp(i)
+	return gc.least.get(ctx, "core: goal-slice least-model wait", func(runCtx context.Context) (*Model, error) {
+		v := gc.viewOf(gp, i)
+		in, err := v.LeastModelCtx(runCtx)
+		if err != nil {
+			return nil, err
+		}
+		return &Model{view: v, in: in}, nil
+	}, nil)
+}
+
+// ProveGoalDirected is ProveGoalDirectedCtx with a background context.
+func (s *Snapshot) ProveGoalDirected(comp string, l ast.Literal) (bool, error) {
+	return s.ProveGoalDirectedCtx(context.Background(), comp, l)
+}
+
+// ProveGoalDirectedCtx answers a least-model membership query for one
+// ground literal from the literal's magic-set slice: the slice is grounded
+// (once, cached) for this snapshot and the memoising prover runs over the
+// slice's view. The answer is identical to ProveCtx's on the full
+// grounding — an atom outside the slice's relevant Herbrand base is
+// outside the full one's too, or unreachable from the goal and therefore
+// unprovable either way.
+func (s *Snapshot) ProveGoalDirectedCtx(ctx context.Context, comp string, l ast.Literal) (bool, error) {
+	i, err := s.resolve(comp)
+	if err != nil {
+		return false, err
+	}
+	if !l.Atom.Ground() {
+		return false, fmt.Errorf("core: Prove needs a ground literal, got %s", l)
+	}
+	gs := s.goalSliceFor([]ast.Literal{l})
+	gp, err := s.sliceProgram(ctx, gs)
+	if err != nil {
+		return false, err
+	}
+	id, ok := gp.Tab.Lookup(l.Atom)
+	if !ok {
+		return false, nil
+	}
+	gc := gs.comp(i)
+	select {
+	case gc.proverSem <- struct{}{}:
+	case <-ctx.Done():
+		return false, &interrupt.Error{Stage: "core: prover queue", Cause: ctx.Err()}
+	}
+	defer func() { <-gc.proverSem }()
+	if gc.prover == nil {
+		gc.prover = proof.New(gc.viewOf(gp, i), 0)
+	}
+	return gc.prover.ProveCtx(ctx, interp.MkLit(id, l.Neg))
+}

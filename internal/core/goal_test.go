@@ -1,0 +1,363 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/ground"
+	"repro/internal/interrupt"
+	"repro/internal/parser"
+	"repro/internal/stable"
+	"repro/internal/workload"
+)
+
+// The goal-directed differential contract: for every goal, answers from
+// the magic-set slice must be byte-identical to answers from the full
+// grounding — for least-model queries and proofs through the engine's
+// goal-directed path, and for the assumption-free/stable model families of
+// an engine grounded with ground.Options.Goal directly.
+
+func mustQuery(t *testing.T, src string) ast.Query {
+	t.Helper()
+	res, err := parser.Parse("?- " + src + ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 1 {
+		t.Fatalf("query %q: want exactly one goal", src)
+	}
+	return res.Queries[0]
+}
+
+// answerSet renders bindings order-independently.
+func answerSet(bs []core.Binding) string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		parts := make([]string, 0, len(b))
+		for v, term := range b {
+			parts = append(parts, v+"="+term.String())
+		}
+		sort.Strings(parts)
+		out[i] = "{" + strings.Join(parts, ",") + "}"
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+// projectedAnswers renders a model family as the deduplicated set of
+// per-model answer sets for the query: exactly the part of the enumeration
+// a goal can observe, which is what slicing must preserve.
+func projectedAnswers(t *testing.T, ms []*core.Model, err error, q ast.Query) string {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		set[answerSet(m.Query(q))] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " || ")
+}
+
+// chainSource builds the right-recursive transitive closure over an
+// n-edge chain with an exception component and a disconnected junk
+// component — the program family where the adornment actually restricts
+// bindings (path^bf), unlike the head-unbound corpus rules.
+func chainSource(t *testing.T, n, excAt int) *ast.OrderedProgram {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("module base {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  edge(c%d, c%d).\n", i, i+1)
+	}
+	b.WriteString("  path(X, Y) :- edge(X, Y).\n")
+	b.WriteString("  path(X, Z) :- path(X, Y), edge(Y, Z).\n")
+	b.WriteString("}\n")
+	fmt.Fprintf(&b, "module exc extends base {\n  -path(X, c%d) :- edge(X, c%d).\n}\n", excAt, excAt)
+	b.WriteString("module junk {\n  jedge(c0, c1).\n  jpath(X, Y) :- jedge(X, Y).\n}\n")
+	p, err := parser.ParseProgram(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func diffGoals(t *testing.T, prog *ast.OrderedProgram, queries []string, proofs []string) {
+	t.Helper()
+	ctx := context.Background()
+	full, err := core.NewEngine(prog, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := core.NewEngine(prog, core.Config{GoalDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(prog.Components))
+	for i, c := range prog.Components {
+		names[i] = c.Name
+	}
+	for _, qs := range queries {
+		q := mustQuery(t, qs)
+		// An engine grounded with a fixed Ground.Goal evaluates everything —
+		// least, AF and stable models — over the slice; its projected
+		// model families must match the full engine's.
+		opts := ground.DefaultOptions()
+		opts.Goal = q.Body
+		slicedEng, err := core.NewEngine(prog, core.Config{Ground: opts})
+		if err != nil {
+			t.Fatalf("goal %s: sliced engine: %v", qs, err)
+		}
+		for _, name := range names {
+			want, err := full.Current().QueryCtx(ctx, name, q)
+			if err != nil {
+				t.Fatalf("goal %s in %s: full query: %v", qs, name, err)
+			}
+			got, err := gd.Current().QueryCtx(ctx, name, q)
+			if err != nil {
+				t.Fatalf("goal %s in %s: goal-directed query: %v", qs, name, err)
+			}
+			if w, g := answerSet(want), answerSet(got); w != g {
+				t.Errorf("goal %s in %s: least answers diverged\nfull:  %s\nslice: %s", qs, name, w, g)
+			}
+			wantAF, errW := full.Current().AssumptionFreeModels(name, stable.Options{})
+			gotAF, errG := slicedEng.Current().AssumptionFreeModels(name, stable.Options{})
+			if w, g := projectedAnswers(t, wantAF, errW, q), projectedAnswers(t, gotAF, errG, q); w != g {
+				t.Errorf("goal %s in %s: AF projections diverged\nfull:  %s\nslice: %s", qs, name, w, g)
+			}
+			wantSt, errW := full.Current().StableModels(name, stable.Options{})
+			gotSt, errG := slicedEng.Current().StableModels(name, stable.Options{})
+			if w, g := projectedAnswers(t, wantSt, errW, q), projectedAnswers(t, gotSt, errG, q); w != g {
+				t.Errorf("goal %s in %s: stable projections diverged\nfull:  %s\nslice: %s", qs, name, w, g)
+			}
+		}
+	}
+	for _, ps := range proofs {
+		l, err := parser.ParseLiteral(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			want, err := full.Current().ProveCtx(ctx, name, l)
+			if err != nil {
+				t.Fatalf("prove %s in %s: full: %v", ps, name, err)
+			}
+			got, err := gd.Current().ProveCtx(ctx, name, l)
+			if err != nil {
+				t.Fatalf("prove %s in %s: goal-directed: %v", ps, name, err)
+			}
+			if want != got {
+				t.Errorf("prove %s in %s: full %v, goal-directed %v", ps, name, want, got)
+			}
+		}
+	}
+}
+
+func TestGoalDirectedDifferentialCorpus(t *testing.T) {
+	const comps, nconst = 3, 3
+	programs := 200
+	if testing.Short() {
+		programs = 40
+	}
+	queries := []string{
+		"p0(c0)", "p1(X)", "-p1(c1)", "e(c0, X)", "p0(X), e(X, Y)",
+	}
+	proofs := []string{"p0(c0)", "-p1(c1)", "p2(c2)", "e(c0, c1)"}
+	for seed := 0; seed < programs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			prog := workload.RandomOrderedDatalog(rng, comps, nconst)
+			diffGoals(t, prog, queries, proofs)
+		})
+	}
+}
+
+func TestGoalDirectedDifferentialChain(t *testing.T) {
+	sizes := []struct{ n, excAt int }{{4, 2}, {6, 6}, {8, 5}}
+	if testing.Short() {
+		sizes = sizes[:2]
+	}
+	for _, sz := range sizes {
+		sz := sz
+		t.Run(fmt.Sprintf("n%d_exc%d", sz.n, sz.excAt), func(t *testing.T) {
+			t.Parallel()
+			prog := chainSource(t, sz.n, sz.excAt)
+			queries := []string{
+				fmt.Sprintf("path(c0, c%d)", sz.n),
+				"path(c0, X)",
+				"path(c1, X)",
+				"path(X, Y)",
+				"path(c0, X), edge(X, Y)",
+				fmt.Sprintf("-path(c0, c%d)", sz.excAt),
+			}
+			proofs := []string{
+				"path(c0, c1)",
+				fmt.Sprintf("path(c0, c%d)", sz.n),
+				fmt.Sprintf("-path(c0, c%d)", sz.excAt),
+				fmt.Sprintf("path(c1, c%d)", sz.n),
+				"path(c2, c0)",
+				"jpath(c0, c1)",
+			}
+			diffGoals(t, prog, queries, proofs)
+		})
+	}
+}
+
+// After an update, goal-directed answers must reflect the new fact base
+// (the per-snapshot slice cache starts empty and the slice grounds from
+// the effective program), while a pinned pre-update snapshot keeps
+// answering from its own version.
+func TestGoalDirectedUpdateInvalidation(t *testing.T) {
+	ctx := context.Background()
+	prog := chainSource(t, 4, 2)
+	gd, err := core.NewEngine(prog, core.Config{GoalDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.NewEngine(chainSource(t, 4, 2), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, "path(c0, X)")
+	pinned := gd.Current()
+	before, err := pinned.QueryCtx(ctx, "base", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, err := parser.ParseLiteral("edge(c4, c9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gd.Update(ctx, "base", []ast.Literal{lit}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Update(ctx, "base", []ast.Literal{lit}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := gd.Current().QueryCtx(ctx, "base", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Current().QueryCtx(ctx, "base", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answerSet(after) != answerSet(want) {
+		t.Errorf("post-update answers diverged\nfull:  %s\nslice: %s", answerSet(want), answerSet(after))
+	}
+	if answerSet(after) == answerSet(before) {
+		t.Error("update did not change the answer set — the invalidation case is vacuous")
+	}
+	// The pinned snapshot still answers from the pre-update fact base.
+	pinnedAgain, err := pinned.QueryCtx(ctx, "base", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answerSet(pinnedAgain) != answerSet(before) {
+		t.Errorf("pinned snapshot answers changed after update\nbefore: %s\nafter:  %s", answerSet(before), answerSet(pinnedAgain))
+	}
+}
+
+// Cancellation contract: a cancelled goal-directed query returns an
+// interruption error and leaks no partial slice — the next query with a
+// live context recomputes the slice and answers exactly like the full
+// path.
+func TestGoalDirectedCancellation(t *testing.T) {
+	prog := chainSource(t, 30, 15)
+	gd, err := core.NewEngine(prog, core.Config{GoalDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.NewEngine(prog, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustQuery(t, "path(c0, X)")
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := gd.Current().QueryCtx(cancelled, "base", q); !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("cancelled goal-directed query: err = %v, want ErrInterrupted", err)
+	}
+	if _, err := gd.Current().ProveCtx(cancelled, "base", mustLit(t, "path(c0, c30)")); !errors.Is(err, interrupt.ErrInterrupted) {
+		t.Fatalf("cancelled goal-directed prove: err = %v, want ErrInterrupted", err)
+	}
+	ctx := context.Background()
+	got, err := gd.Current().QueryCtx(ctx, "base", q)
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	want, err := full.Current().QueryCtx(ctx, "base", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answerSet(got) != answerSet(want) {
+		t.Errorf("answers after interrupted slice diverged\nfull:  %s\nslice: %s", answerSet(want), answerSet(got))
+	}
+}
+
+func mustLit(t *testing.T, src string) ast.Literal {
+	t.Helper()
+	l, err := parser.ParseLiteral(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// The batch entry points inherit the goal-directed routing.
+func TestGoalDirectedBatch(t *testing.T) {
+	prog := chainSource(t, 6, 3)
+	gd, err := core.NewEngine(prog, core.Config{GoalDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.NewEngine(prog, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []core.QueryRequest{
+		{Comp: "base", Query: mustQuery(t, "path(c0, X)")},
+		{Comp: "exc", Query: mustQuery(t, "path(c1, X)")},
+		{Comp: "base", Query: mustQuery(t, "path(X, c6)")},
+	}
+	got := gd.QueryBatch(reqs, batch.Options{})
+	want := full.QueryBatch(reqs, batch.Options{})
+	for i := range reqs {
+		if got[i].Err != nil || want[i].Err != nil {
+			t.Fatalf("batch[%d]: errs full=%v goal-directed=%v", i, want[i].Err, got[i].Err)
+		}
+		if g, w := answerSet(got[i].Bindings), answerSet(want[i].Bindings); g != w {
+			t.Errorf("batch[%d]: answers diverged\nfull:  %s\nslice: %s", i, w, g)
+		}
+	}
+}
+
+// Rejected configurations.
+func TestGoalDirectedConfigValidation(t *testing.T) {
+	prog := chainSource(t, 3, 2)
+	fullMode := ground.DefaultOptions()
+	fullMode.Mode = ground.ModeFull
+	if _, err := core.NewEngine(prog, core.Config{GoalDirected: true, Ground: fullMode}); err == nil {
+		t.Error("GoalDirected with ModeFull accepted")
+	}
+	fixed := ground.DefaultOptions()
+	fixed.Goal = mustQuery(t, "path(c0, X)").Body
+	if _, err := core.NewEngine(prog, core.Config{GoalDirected: true, Ground: fixed}); err == nil {
+		t.Error("GoalDirected with a fixed Ground.Goal accepted")
+	}
+}

@@ -19,6 +19,14 @@ var (
 	mLeastComputed = obs.Default().Counter("core.least.computed")
 	mLeastHits     = obs.Default().Counter("core.least.hits")
 	mLeastWaiters  = obs.Default().Counter("core.least.waiters")
+
+	// Goal-directed slice cache (per-snapshot LRU of adorned slices, keyed
+	// by the goal's binding pattern): a hit reuses a cached slice of the
+	// pinned snapshot, a miss grounds one, an eviction drops the least
+	// recently used slice when the cache is full.
+	mSliceHits      = obs.Default().Counter("relevance.cache.hits")
+	mSliceMisses    = obs.Default().Counter("relevance.cache.misses")
+	mSliceEvictions = obs.Default().Counter("relevance.cache.evictions")
 )
 
 // countFallback bumps both the total reground counter and the per-reason

@@ -47,6 +47,19 @@ type Config struct {
 	// It also seeds Ground.Shards when that field is zero. 0 or 1 means
 	// fully sequential (the default).
 	Shards int
+
+	// GoalDirected routes least-model queries and proofs through per-goal
+	// magic-set slices: Query/QueryCtx (and the batch entry points) with a
+	// non-empty body, and Prove/ProveCtx, ground only the query-reachable
+	// slice of the program instead of evaluating the component's full
+	// least model. Answers are identical to the full path's (see DESIGN
+	// §12); sliced groundings are cached per snapshot in a small LRU keyed
+	// by the goal's binding pattern, so repeated goals reuse their slice
+	// and every update invalidates automatically. Enumeration entry points
+	// (stable/AF models, Reason, ProveExplain, ProveQuery) always use the
+	// full grounding. Requires smart grounding mode and is incompatible
+	// with a fixed Ground.Goal.
+	GoalDirected bool
 }
 
 // Option is a functional engine option applied on top of a Config by
@@ -66,6 +79,10 @@ func WithTrace(w io.Writer) Option { return func(c *Config) { c.Trace = w } }
 // WithShards sets Config.Shards: the shard count for parallel grounding
 // and least-model evaluation (<= 1 = sequential).
 func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithGoalDirected sets Config.GoalDirected: route queries and proofs
+// through per-goal magic-set slices instead of full least models.
+func WithGoalDirected(on bool) Option { return func(c *Config) { c.GoalDirected = on } }
 
 // ConfigError reports an invalid Config field. It is returned (wrapped in
 // nothing) by NewEngine, so callers can errors.As for it and inspect which
@@ -111,6 +128,14 @@ func (c *Config) Validate() error {
 	}
 	if g.Shards < 0 {
 		return &ConfigError{Field: "Ground.Shards", Value: g.Shards, Reason: "must be >= 0 (0 or 1 = sequential)"}
+	}
+	if c.GoalDirected {
+		if g.Mode == ground.ModeFull {
+			return &ConfigError{Field: "GoalDirected", Value: true, Reason: "goal-directed querying requires smart grounding mode"}
+		}
+		if len(g.Goal) > 0 {
+			return &ConfigError{Field: "GoalDirected", Value: true, Reason: "incompatible with a fixed Ground.Goal (the engine slices per query)"}
+		}
 	}
 	return nil
 }

@@ -36,7 +36,12 @@ func (s *Snapshot) Prove(comp string, l ast.Literal) (bool, error) {
 }
 
 // ProveCtx is Prove with cooperative cancellation (see Engine.ProveCtx).
+// On a goal-directed engine (Config.GoalDirected) the proof runs over the
+// literal's magic-set slice; the answer is identical either way.
 func (s *Snapshot) ProveCtx(ctx context.Context, comp string, l ast.Literal) (bool, error) {
+	if s.eng.cfg.GoalDirected {
+		return s.ProveGoalDirectedCtx(ctx, comp, l)
+	}
 	i, err := s.resolve(comp)
 	if err != nil {
 		return false, err

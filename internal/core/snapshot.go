@@ -10,7 +10,6 @@ import (
 	"repro/internal/eval"
 	"repro/internal/ground"
 	"repro/internal/interp"
-	"repro/internal/interrupt"
 	"repro/internal/obs"
 	"repro/internal/proof"
 	"repro/internal/stable"
@@ -49,6 +48,12 @@ type Snapshot struct {
 
 	mu    sync.Mutex
 	comps map[int]*compState
+
+	// slices is the per-snapshot cache of goal-directed magic-set slices
+	// (see goal.go). Each snapshot starts empty, so every published update
+	// invalidates all cached slices automatically, while pinned snapshots
+	// keep serving their own version's slices.
+	slices sliceCache
 }
 
 // factKey identifies a ground fact rule by component position and rendered
@@ -67,7 +72,7 @@ type factEvent struct {
 
 // compState holds the lazily built per-component artifacts. The view is
 // construct-once/read-many under a sync.Once; the least model uses the
-// channel-based singleflight of lazyLeast so waiters can honour their own
+// channel-based singleflight of lazyCell so waiters can honour their own
 // contexts; proverSem (a 1-slot semaphore acquired with context) serialises
 // the memoising, non-reentrant goal-directed prover. Snapshots whose
 // visible rules agree for a component share one compState, so an update
@@ -81,27 +86,10 @@ type compState struct {
 	shardOnce sync.Once
 	sharding  *eval.Sharding
 
-	least lazyLeast
+	least lazyCell[*Model]
 
 	proverSem chan struct{}
 	prover    *proof.Prover
-}
-
-// lazyLeast is a context-aware singleflight cell for one component's least
-// model. States: idle (done == nil, !ready), running (done != nil), ready
-// (ready == true; m/err cached forever). A run executes on a private
-// context detached from any caller; each waiter selects on its own context
-// and the run's done channel. The last waiter to abandon a run cancels it;
-// an interrupted run resets the cell to idle instead of caching the
-// interruption, so the next caller simply retries.
-type lazyLeast struct {
-	mu      sync.Mutex
-	done    chan struct{}
-	cancel  context.CancelFunc
-	waiters int
-	ready   bool
-	m       *Model
-	err     error
 }
 
 // Version returns the snapshot's version number: 0 for the engine's
@@ -215,99 +203,44 @@ func (s *Snapshot) LeastModelCtx(ctx context.Context, comp string) (*Model, erro
 		return nil, err
 	}
 	st := s.comp(i)
-	ll := &st.least
 	// Singleflight accounting: the goroutine that runs the fixpoint counts
 	// one computation, a caller that parks on someone else's run counts one
 	// waiter (once), and a caller that finds the result already cached —
 	// never having started or waited — counts one hit.
-	started, waited := false, false
-	for {
-		ll.mu.Lock()
-		if ll.ready {
-			m, err := ll.m, ll.err
-			ll.mu.Unlock()
-			if obs.On() && !started && !waited {
+	return st.least.get(ctx, "core: least-model wait", func(runCtx context.Context) (*Model, error) {
+		v := s.viewAt(i)
+		var in *interp.Interp
+		var err error
+		if s.eng.cfg.Shards > 1 {
+			in, err = s.shardingAt(i, v).LeastModelCtx(runCtx)
+		} else {
+			in, err = v.LeastModelCtx(runCtx)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Model{view: v, in: in}, nil
+	}, func(kind string) {
+		switch kind {
+		case "hit":
+			if obs.On() {
 				mLeastHits.Inc()
 			}
-			return m, err
-		}
-		if err := ctx.Err(); err != nil {
-			ll.mu.Unlock()
-			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: err}
-		}
-		if ll.done == nil {
-			started = true
-			// Start the computation on a context detached from any one
-			// caller: its lifetime is "some waiter still wants this".
-			runCtx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			ll.done, ll.cancel = done, cancel
-			go func() {
-				v := s.viewAt(i)
-				var in *interp.Interp
-				var err error
-				if s.eng.cfg.Shards > 1 {
-					in, err = s.shardingAt(i, v).LeastModelCtx(runCtx)
-				} else {
-					in, err = v.LeastModelCtx(runCtx)
-				}
-				ll.mu.Lock()
-				if err != nil && errors.Is(err, interrupt.ErrInterrupted) {
-					// Abandoned run: reset to idle rather than caching the
-					// interruption — the result is a property of the
-					// program, not of the callers that gave up on it.
-					ll.done, ll.cancel = nil, nil
-				} else {
-					ll.ready = true
-					if err != nil {
-						ll.err = err
-					} else {
-						ll.m = &Model{view: v, in: in}
-					}
-					ll.done, ll.cancel = nil, nil
-					if obs.On() {
-						mLeastComputed.Inc()
-					}
-					if s.eng.trace.Enabled() {
-						s.eng.trace.Emit(obs.E("least",
-							obs.F("comp", s.gp.Src.Components[i].Name),
-							obs.F("version", s.version)))
-					}
-				}
-				ll.mu.Unlock()
-				cancel()
-				close(done)
-			}()
-		}
-		done := ll.done
-		cancel := ll.cancel
-		ll.waiters++
-		ll.mu.Unlock()
-		if obs.On() && !started && !waited {
-			mLeastWaiters.Inc()
-		}
-		waited = true
-
-		select {
-		case <-done:
-			ll.mu.Lock()
-			ll.waiters--
-			ll.mu.Unlock()
-			// Loop: read the cached result, or retry after an abandoned run.
-		case <-ctx.Done():
-			ll.mu.Lock()
-			ll.waiters--
-			if ll.waiters == 0 && ll.done == done {
-				// Last interested caller is gone: stop the computation. The
-				// run observes the cancellation at its next checkpoint and
-				// resets the cell (unless it finished first, in which case
-				// the result is cached anyway).
-				cancel()
+		case "waited":
+			if obs.On() {
+				mLeastWaiters.Inc()
 			}
-			ll.mu.Unlock()
-			return nil, &interrupt.Error{Stage: "core: least-model wait", Cause: ctx.Err()}
+		case "computed":
+			if obs.On() {
+				mLeastComputed.Inc()
+			}
+			if s.eng.trace.Enabled() {
+				s.eng.trace.Emit(obs.E("least",
+					obs.F("comp", s.gp.Src.Components[i].Name),
+					obs.F("version", s.version)))
+			}
 		}
-	}
+	})
 }
 
 // Query evaluates a conjunctive query against the component's least model
@@ -317,8 +250,14 @@ func (s *Snapshot) Query(comp string, q ast.Query) ([]Binding, error) {
 }
 
 // QueryCtx is Query with cooperative cancellation of the underlying
-// least-model computation.
+// least-model computation. On a goal-directed engine
+// (Config.GoalDirected) queries with a non-empty body evaluate against
+// the goal's magic-set slice instead of the component's full least model;
+// answers are identical either way.
 func (s *Snapshot) QueryCtx(ctx context.Context, comp string, q ast.Query) ([]Binding, error) {
+	if s.eng.cfg.GoalDirected && len(q.Body) > 0 {
+		return s.QueryGoalDirectedCtx(ctx, comp, q)
+	}
 	m, err := s.LeastModelCtx(ctx, comp)
 	if err != nil {
 		return nil, err

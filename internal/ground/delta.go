@@ -27,8 +27,8 @@ var ErrNeedsReground = errors.New("ground: update requires regrounding")
 // RegroundError is the concrete fallback error: ErrNeedsReground plus the
 // reason the incremental path bailed. Reasons are short stable slugs
 // ("negative-fact", "compound-args", "new-constant", "edb-retract",
-// "universal-fact", "last-constant", "full-mode", "poisoned") usable as
-// metric labels.
+// "universal-fact", "last-constant", "full-mode", "goal-sliced",
+// "poisoned") usable as metric labels.
 type RegroundError struct{ Reason string }
 
 func (e *RegroundError) Error() string {
@@ -57,6 +57,9 @@ func RegroundReason(err error) string {
 
 // incrReason names why the program has no usable incremental state.
 func (gp *Program) incrReason() error {
+	if gp.sliced {
+		return needsReground("goal-sliced")
+	}
 	if gp.inc == nil {
 		return needsReground("full-mode")
 	}

@@ -1,0 +1,177 @@
+package ground
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// chainProgram builds the right-recursive transitive closure over an
+// n-edge chain, one exception component overriding path into the last
+// node, and a disconnected junk component of the same shape that a
+// goal-directed grounding must not instantiate.
+func chainProgram(t *testing.T, n int) *ast.OrderedProgram {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("module base {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  edge(c%d, c%d).\n", i, i+1)
+	}
+	b.WriteString("  path(X, Y) :- edge(X, Y).\n")
+	b.WriteString("  path(X, Z) :- path(X, Y), edge(Y, Z).\n")
+	b.WriteString("}\n")
+	fmt.Fprintf(&b, "module exc extends base {\n  -path(X, c%d) :- edge(X, c%d).\n}\n", n, n)
+	b.WriteString("module junk {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  jedge(c%d, c%d).\n", i, i+1)
+	}
+	b.WriteString("  jpath(X, Y) :- jedge(X, Y).\n")
+	b.WriteString("  jpath(X, Z) :- jpath(X, Y), jedge(Y, Z).\n")
+	b.WriteString("}\n")
+	p, err := parser.ParseProgram(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func goalLits(t *testing.T, lits ...string) []ast.Literal {
+	t.Helper()
+	out := make([]ast.Literal, len(lits))
+	for i, s := range lits {
+		l, err := parser.ParseLiteral(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+func ruleStringSet(gp *Program) map[string]bool {
+	set := make(map[string]bool, len(gp.Rules))
+	for i := range gp.Rules {
+		set[fmt.Sprintf("m%d: %s", gp.Rules[i].Comp, gp.RuleString(&gp.Rules[i]))] = true
+	}
+	return set
+}
+
+// The sliced instance set must be a subset of the full one (slicing never
+// invents instances), must still contain the goal cone, and must drop the
+// disconnected component and the off-goal path instances entirely.
+func TestGoalSliceSubset(t *testing.T) {
+	const n = 12
+	p := chainProgram(t, n)
+	opts := DefaultOptions()
+	full, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Goal = goalLits(t, "path(c0, X)")
+	sliced, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sliced.sliced || sliced.Incremental() {
+		t.Error("sliced program must be marked sliced and non-incremental")
+	}
+	fullSet, slicedSet := ruleStringSet(full), ruleStringSet(sliced)
+	for r := range slicedSet {
+		if !fullSet[r] {
+			t.Errorf("sliced instance %s not in the full grounding", r)
+		}
+	}
+	if len(sliced.Rules) >= len(full.Rules) {
+		t.Errorf("sliced %d instances, full %d: no reduction", len(sliced.Rules), len(full.Rules))
+	}
+	for r := range slicedSet {
+		if strings.Contains(r, "jpath") || strings.Contains(r, "jedge") {
+			t.Errorf("disconnected instance survived slicing: %s", r)
+		}
+	}
+	// The whole c0 cone must be present...
+	for i := 1; i <= n; i++ {
+		want := false
+		for r := range slicedSet {
+			if strings.Contains(r, fmt.Sprintf("path(c0, c%d)", i)) {
+				want = true
+				break
+			}
+		}
+		if !want {
+			t.Errorf("goal-cone atom path(c0, c%d) missing from the slice", i)
+		}
+	}
+	// ...while off-goal cones (sources other than c0) must not be: the
+	// full grounding has the O(n^2) closure, the slice only O(n).
+	for r := range slicedSet {
+		if strings.Contains(r, "path(c5,") {
+			t.Errorf("off-goal instance in slice: %s", r)
+		}
+	}
+}
+
+func TestGoalRequiresSmartMode(t *testing.T) {
+	p := chainProgram(t, 3)
+	opts := DefaultOptions()
+	opts.Mode = ModeFull
+	opts.Goal = goalLits(t, "path(c0, X)")
+	if _, err := Ground(p, opts); err == nil {
+		t.Fatal("ModeFull with a goal must be rejected")
+	}
+}
+
+func TestGoalSlicedUpdatesReground(t *testing.T) {
+	p := chainProgram(t, 3)
+	opts := DefaultOptions()
+	opts.Goal = goalLits(t, "path(c0, X)")
+	gp, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gp.AssertFacts(context.Background(), 0, goalLits(t, "edge(c0, c2)"))
+	if !errors.Is(err, ErrNeedsReground) {
+		t.Fatalf("AssertFacts on sliced program: err = %v, want ErrNeedsReground", err)
+	}
+	if got := RegroundReason(err); got != "goal-sliced" {
+		t.Errorf("reground reason = %q, want goal-sliced", got)
+	}
+	if _, err := gp.RetractFacts(0, goalLits(t, "edge(c0, c1)")); !errors.Is(err, ErrNeedsReground) {
+		t.Errorf("RetractFacts on sliced program: err = %v, want ErrNeedsReground", err)
+	}
+}
+
+// An unrestricted goal (every position free) still prunes disconnected
+// components but keeps every demanded instance.
+func TestGoalFreeVariableSlice(t *testing.T) {
+	p := chainProgram(t, 6)
+	opts := DefaultOptions()
+	full, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Goal = goalLits(t, "path(X, Y)")
+	sliced, err := Ground(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet, slicedSet := ruleStringSet(full), ruleStringSet(sliced)
+	for r := range fullSet {
+		if strings.Contains(r, "jpath") || strings.Contains(r, "jedge") {
+			continue
+		}
+		if !slicedSet[r] {
+			t.Errorf("free-goal slice dropped connected instance %s", r)
+		}
+	}
+	for r := range slicedSet {
+		if !fullSet[r] {
+			t.Errorf("sliced instance %s not in the full grounding", r)
+		}
+	}
+}

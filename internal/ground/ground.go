@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/interrupt"
 	"repro/internal/obs"
+	"repro/internal/relevance"
 	"repro/internal/storage"
 	"repro/internal/term"
 	"repro/internal/unify"
@@ -57,11 +58,32 @@ type Options struct {
 	// differs (grouped by shard instead of interleaved). Ignored by
 	// ModeFull.
 	Shards int
+	// Goal, when non-empty, grounds only the query-reachable slice for
+	// this conjunctive goal: the magic-set demand transform of
+	// internal/relevance restricts the possible-atom fixpoint and the
+	// fireable pass to demanded predicates and magic-reachable bindings,
+	// while the competitor pass keeps the Definition 2 overruler/defeater
+	// closure intact (see DESIGN §12 for the soundness argument). A
+	// sliced program answers queries matching the goal pattern exactly
+	// like the full grounding, but its Rules/atom table cover only the
+	// slice and it supports no incremental updates (AssertFacts and
+	// RetractFacts refuse). Requires ModeSmart; a goal forces sequential
+	// grounding (Shards is ignored).
+	Goal []ast.Literal
 }
 
 // DefaultOptions returns the default grounding configuration.
 func DefaultOptions() Options {
 	return Options{Mode: ModeSmart, MaxDepth: -1, MaxUniverse: 1 << 20, MaxAtoms: 1 << 21, MaxInstances: 1 << 22}
+}
+
+// IsZero reports whether o is the zero configuration. Callers treating a
+// zero Options as "use DefaultOptions" need this spelled out because the
+// Goal slice makes Options non-comparable.
+func (o Options) IsZero() bool {
+	return o.Mode == ModeSmart && o.MaxDepth == 0 && o.MaxUniverse == 0 &&
+		o.MaxAtoms == 0 && o.MaxInstances == 0 && !o.NoEDBSimplify &&
+		!o.NoJoinPlanner && o.Shards == 0 && o.Goal == nil
 }
 
 func (o *Options) fill() {
@@ -101,8 +123,11 @@ type Program struct {
 
 	// inc retains the smart-grounding working state (possible-atom store,
 	// encoded rules, competitor targets, semi-naive watermarks) so facts can
-	// be asserted and retracted in place. nil after full-mode grounding.
-	inc *grounder
+	// be asserted and retracted in place. nil after full-mode grounding and
+	// after goal-directed (sliced) grounding; sliced distinguishes the
+	// latter so update fallbacks report the right reason.
+	inc    *grounder
+	sliced bool
 }
 
 // NumComponents returns the number of components of the source program.
@@ -165,6 +190,15 @@ func Ground(p *ast.OrderedProgram, opts Options) (*Program, error) {
 // within one checkpoint interval and returns an interrupt.Error.
 func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Program, error) {
 	opts.fill()
+	if len(opts.Goal) > 0 {
+		if opts.Mode != ModeSmart {
+			return nil, fmt.Errorf("ground: goal-directed grounding requires smart mode")
+		}
+		// Sliced grounding is sequential: the slice is small by design and
+		// the magic seeds are interned before the shard assignment would be
+		// pinned, so sharding buys nothing and is simply ignored.
+		opts.Shards = 0
+	}
 	uni, err := Universe(p, opts.MaxDepth, opts.MaxUniverse)
 	if err != nil {
 		return nil, err
@@ -176,6 +210,9 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 		uni:  uni,
 		tab:  interp.NewTable(),
 		seen: make(map[string]int32),
+	}
+	if len(opts.Goal) > 0 {
+		g.rel = relevance.Analyze(p, opts.Goal)
 	}
 	switch opts.Mode {
 	case ModeFull:
@@ -192,8 +229,11 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 	if err != nil {
 		return nil, err
 	}
-	gp := &Program{Src: p, Tab: g.tab, Rules: g.rules, Universe: g.uni}
-	if opts.Mode == ModeSmart {
+	gp := &Program{Src: p, Tab: g.tab, Rules: g.rules, Universe: g.uni, sliced: g.rel != nil}
+	if opts.Mode == ModeSmart && g.rel == nil {
+		// Sliced programs keep inc nil: their instance set is a function of
+		// the goal, so in-place deltas would desynchronise them from the
+		// full grounding they must agree with. Updates reground.
 		gp.inc = g
 		g.ctx = nil // updates carry their own context
 	}
@@ -201,6 +241,13 @@ func GroundCtx(ctx context.Context, p *ast.OrderedProgram, opts Options) (*Progr
 		mGroundRuns.Inc()
 		mGroundInstances.Add(int64(len(gp.Rules)))
 		mCompetitorClosure.Add(int64(g.compInstances))
+		if g.rel != nil {
+			mMagicRuns.Inc()
+			mMagicSeeds.Add(int64(len(g.rel.Seeds)))
+			mMagicDemanded.Add(int64(g.rel.NumDemanded()))
+			mMagicRestricted.Add(int64(g.rel.NumRestricted()))
+			mMagicSkipped.Add(int64(g.skippedRules))
+		}
 	}
 	return gp, nil
 }
@@ -223,6 +270,11 @@ type grounder struct {
 	// compInstances counts the instances the competitor pass appended —
 	// the competitor-closure size, flushed to metrics when the run ends.
 	compInstances int
+	// rel is the goal-directed demand analysis when Options.Goal is set;
+	// nil grounds the full program. skippedRules counts source rules the
+	// slicing dropped (head predicate not demanded).
+	rel          *relevance.Analysis
+	skippedRules int
 	// factComps maps ground-fact atoms — keyed by their packed interned
 	// term ids (predicate symbol id then argument ids) — to the components
 	// asserting them; built by predShapes for the competitor pass.

@@ -25,4 +25,13 @@ var (
 	mGroundShardRuns = obs.Default().Counter("ground.shard.runs")
 	mGroundShardXfer = obs.Default().Counter("ground.shard.xfer")
 	mGroundShardSkew = obs.Default().Gauge("ground.shard.skew")
+
+	// Goal-directed (magic-set) grounding family, flushed once per sliced
+	// run: seed tuples inserted, predicates demanded/magic-restricted by
+	// the relevance analysis, and source rules the slicing skipped.
+	mMagicRuns       = obs.Default().Counter("ground.magic.runs")
+	mMagicSeeds      = obs.Default().Counter("ground.magic.seeds")
+	mMagicDemanded   = obs.Default().Counter("ground.magic.demanded_preds")
+	mMagicRestricted = obs.Default().Counter("ground.magic.restricted_preds")
+	mMagicSkipped    = obs.Default().Counter("ground.magic.skipped_rules")
 )

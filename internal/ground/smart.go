@@ -105,13 +105,42 @@ func (g *grounder) smartPrep() error {
 	var dl []*datalog.Rule
 	for ci, c := range g.src.Components {
 		for _, r := range c.Rules {
+			// Goal-directed slicing: rules whose head predicate the goal
+			// never demands are dropped outright, and rules defining a
+			// magic-restricted predicate get the demand guard prepended to
+			// their encoded body — both the possible-atom fixpoint and the
+			// fireable join then only explore magic-reachable bindings. The
+			// competitor pass is untouched: it enumerates over the full
+			// universe per target, and its possible-atom joins only read
+			// EDB-exempt (never restricted) relations.
+			if g.rel != nil && !g.rel.RuleDemanded(r) {
+				g.skippedRules++
+				continue
+			}
 			sr := encodeRule(ci, r)
+			if g.rel != nil {
+				if guard, ok := g.rel.GuardLit(r.Head); ok {
+					sr.body = append([]datalog.Lit{guard}, sr.body...)
+				}
+			}
 			dl = append(dl, &datalog.Rule{
 				Head:     datalog.Lit{Key: encKey(r.Head.Atom.Key(), r.Head.Neg), Args: r.Head.Atom.Args},
 				Body:     sr.body,
 				Builtins: r.Builtins,
 			})
 			g.dlSrc = append(g.dlSrc, sr)
+		}
+	}
+	if g.rel != nil {
+		// Demand propagation rules evaluate together with the guarded
+		// possible-atom rules (one semi-naive fixpoint handles the mutual
+		// recursion); the goal's seed tuples go straight into the store so
+		// round 0 picks them up. Seeding is unconditional — a seed term
+		// outside the universe joins nothing, exactly as the full grounding
+		// derives nothing for it.
+		dl = append(dl, g.rel.Magic...)
+		for _, s := range g.rel.Seeds {
+			g.st.Rel(s.Key).Insert(s.Args)
 		}
 	}
 	// Keep the possible-atom closure inside the depth-bounded universe:

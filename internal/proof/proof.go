@@ -35,6 +35,12 @@ type Prover struct {
 	maxCall  int
 	ctx      context.Context    // context of the in-flight Prove/Explain call
 	stageMap map[interp.Lit]int // lazily built by Explain
+	// inProgress is the DFS path set, pooled across Prove calls. The
+	// per-frame deferred deletes in prove leave it empty after every call
+	// (deferred deletes run during error unwinds too); the clear in
+	// ProveCtx is belt-and-braces. Pooling is safe because a Prover is
+	// not reentrant — core serialises callers behind a 1-slot semaphore.
+	inProgress map[interp.Lit]bool
 }
 
 // New returns a prover over the view. maxCalls bounds the total recursive
@@ -46,11 +52,12 @@ func New(v *eval.View, maxCalls int) *Prover {
 		maxCalls = 1 << 24
 	}
 	return &Prover{
-		v:       v,
-		proven:  make(map[interp.Lit]bool),
-		failed:  make(map[interp.Lit]bool),
-		maxCall: maxCalls,
-		ctx:     context.Background(),
+		v:          v,
+		proven:     make(map[interp.Lit]bool),
+		failed:     make(map[interp.Lit]bool),
+		maxCall:    maxCalls,
+		ctx:        context.Background(),
+		inProgress: make(map[interp.Lit]bool),
 	}
 }
 
@@ -77,8 +84,8 @@ func (p *Prover) ProveCtx(ctx context.Context, l interp.Lit) (bool, error) {
 	}
 	p.calls = 0
 	p.ctx = ctx
-	inProgress := make(map[interp.Lit]bool)
-	ok, _, err := p.prove(l, inProgress)
+	clear(p.inProgress)
+	ok, _, err := p.prove(l, p.inProgress)
 	return ok, err
 }
 

@@ -16,32 +16,32 @@ import (
 	"repro/internal/workload"
 )
 
-func ancestorView(b *testing.B, n int) *eval.View {
-	b.Helper()
+func ancestorView(tb testing.TB, n int) *eval.View {
+	tb.Helper()
 	ov, err := transform.OV("c", workload.AncestorChain(n))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	g, err := ground.Ground(ov, ground.DefaultOptions())
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	v, err := eval.NewViewByName(g, "c")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return v
 }
 
-func ancLit(b *testing.B, v *eval.View, from, to int) interp.Lit {
-	b.Helper()
+func ancLit(tb testing.TB, v *eval.View, from, to int) interp.Lit {
+	tb.Helper()
 	l, err := parser.ParseLiteral(fmt.Sprintf("anc(c%d, c%d)", from, to))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	id, ok := v.G.Tab.Lookup(l.Atom)
 	if !ok {
-		b.Fatalf("atom %s not interned", l.Atom)
+		tb.Fatalf("atom %s not interned", l.Atom)
 	}
 	return interp.MkLit(id, l.Neg)
 }
@@ -60,6 +60,47 @@ func BenchmarkB8ProveSingleQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkB8ProveWarm re-proves a memoised goal on a reused prover. The
+// DFS in-progress set is pooled on the Prover, so the warm path performs
+// no allocations at all; TestProveWarmZeroAllocs pins that.
+func BenchmarkB8ProveWarm(b *testing.B) {
+	v := ancestorView(b, 32)
+	goal := ancLit(b, v, 0, 16)
+	pr := proof.New(v, 0)
+	if ok, err := pr.Prove(goal); err != nil || !ok {
+		b.Fatalf("warm-up prove: %v %v", ok, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := pr.Prove(goal); err != nil || !ok {
+			b.Fatalf("prove: %v %v", ok, err)
+		}
+	}
+}
+
+// A warm re-proof must be allocation-free: results are memoised and the
+// in-progress set is a pooled field, not a per-call map. This guard
+// pinned a real regression — ProveCtx used to allocate a fresh map on
+// every call, memo hit or not.
+func TestProveWarmZeroAllocs(t *testing.T) {
+	v := ancestorView(t, 32)
+	goal := ancLit(t, v, 0, 16)
+	pr := proof.New(v, 0)
+	if ok, err := pr.Prove(goal); err != nil || !ok {
+		t.Fatalf("warm-up prove: %v %v", ok, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ok, err := pr.Prove(goal)
+		if err != nil || !ok {
+			t.Fatalf("prove: %v %v", ok, err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Prove allocated %.1f times per op, want 0", allocs)
 	}
 }
 
