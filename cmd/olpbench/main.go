@@ -139,6 +139,7 @@ func main() {
 	run("B9", b9)
 	run("B10", b10)
 	run("B12", b12)
+	run("B13", b13)
 	// The sharded sweep is opt-in under -exp all: it re-measures B3/B1
 	// workloads per shard count, so only run it when asked for by name or
 	// by an explicit -shards list.
@@ -269,6 +270,12 @@ func benchJSON() {
 	// shape BENCH_8.json and the CI bench-smoke artifact use.
 	if strings.EqualFold(*exp, "B12") {
 		emitJSON(b12JSON())
+		return
+	}
+	// -exp B13 -json emits the durability overhead + recovery records —
+	// the shape BENCH_9.json and the CI bench-smoke artifact use.
+	if strings.EqualFold(*exp, "B13") {
+		emitJSON(b13JSON())
 		return
 	}
 

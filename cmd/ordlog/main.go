@@ -38,11 +38,20 @@
 //	                   :0 for an ephemeral port; printed to stderr)
 //	-metrics-hold d    keep the metrics listener up this long after the run
 //	                   finishes (so one-shot runs can be scraped; default 0)
+//	-v                 warn on stderr when goal-directed slicing degrades:
+//	                   a predicate whose head-only SIP collapsed to
+//	                   unrestricted is grounded in full despite the goal
 //	-i                 interactive shell (see internal/repl)
 //	-analyze           static diagnostics (internal/analyze) and exit;
 //	                   with -prove also lints rules unreachable from the goal
 //	-dot order|deps    GraphViz of the component lattice or predicate deps;
 //	                   deps with -prove renders the adorned graph for the goal
+//
+// The wal subcommand inspects a durability directory written by ordlogd
+// -data-dir (see internal/wal):
+//
+//	ordlog wal verify dir   strict CRC + hash-chain + checkpoint check
+//	ordlog wal dump dir     print checkpoints and records
 package main
 
 import (
@@ -63,12 +72,18 @@ import (
 	"repro/internal/ground"
 	"repro/internal/obs"
 	"repro/internal/parser"
+	"repro/internal/relevance"
 	"repro/internal/repl"
 	"repro/internal/serve"
 	"repro/internal/transform"
 )
 
 func main() {
+	// `ordlog wal <verify|dump> <dir>` is a subcommand with its own argument
+	// shape; intercept it before the flag machinery sees the arguments.
+	if len(os.Args) >= 2 && os.Args[1] == "wal" {
+		os.Exit(runWAL(os.Args[2:]))
+	}
 	component := flag.String("component", "", "target component (default: most specific)")
 	semantics := flag.String("semantics", "ordered", "ordered | ov | ev | 3v")
 	models := flag.String("models", "least", "least | stable | af | cautious")
@@ -86,6 +101,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/metrics and net/http/pprof on this address")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics listener up this long after the run finishes")
 	interactive := flag.Bool("i", false, "interactive shell (optionally preloading the program)")
+	verbose := flag.Bool("v", false, "warn on stderr when goal-directed slicing degrades (head-only SIP limit)")
 	analyzeFlag := flag.Bool("analyze", false, "print static diagnostics and exit")
 	dot := flag.String("dot", "", "emit GraphViz and exit: order | deps")
 	flag.Parse()
@@ -124,7 +140,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *shards, *goalDirected, *jsonOut, *stats)
+	err := run(ctx, flag.Arg(0), *component, *semantics, *models, *maxModels, *mode, *explain, *prove, *edb, *parallel, *shards, *goalDirected, *jsonOut, *stats, *verbose)
 	if *metricsAddr != "" && *metricsHold > 0 {
 		fmt.Fprintf(os.Stderr, "ordlog: holding metrics listener for %s\n", *metricsHold)
 		time.Sleep(*metricsHold)
@@ -255,7 +271,21 @@ func printBindings(q ordlog.Query, answers []ordlog.Binding) {
 	}
 }
 
-func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel, shards int, goalDirected, jsonOut, stats bool) error {
+// warnDegraded reports the head-only SIP limit for one goal: predicates
+// whose magic restriction collapsed to all-free even though a full
+// left-to-right SIP would keep a position bound (DESIGN §12). Their slices
+// are the unrestricted grounding of their region, so "goal-directed" buys
+// nothing for them — worth a warning rather than silent slow queries.
+func warnDegraded(prog *ordlog.Program, what string, goal []ordlog.Literal) {
+	a := relevance.Analyze(prog, goal)
+	for _, k := range a.Degraded {
+		fmt.Fprintf(os.Stderr,
+			"ordlog: %s: head-only SIP degraded to unrestricted for %s/%d (binding reaches it only through body-local variables; its slice is the full grounding of its region)\n",
+			what, k.Name, k.Arity)
+	}
+}
+
+func run(ctx context.Context, path, component, semantics, models string, maxModels int, mode, explain, prove, edb string, parallel, shards int, goalDirected, jsonOut, stats, verbose bool) error {
 	res, err := ordlog.ParseFile(path)
 	if err != nil {
 		return err
@@ -344,6 +374,9 @@ func run(ctx context.Context, path, component, semantics, models string, maxMode
 			return fmt.Errorf("-prove: %v", err)
 		}
 		if goalDirected {
+			if verbose {
+				warnDegraded(prog, fmt.Sprintf("-prove %s", lit), []ordlog.Literal{lit})
+			}
 			// The proof runs over the literal's magic-set slice; the
 			// derivation tree is an -explain-style full-model feature.
 			ok, err := eng.ProveCtx(ctx, component, lit)
@@ -374,6 +407,9 @@ func run(ctx context.Context, path, component, semantics, models string, maxMode
 		reqs := make([]ordlog.QueryRequest, len(res.Queries))
 		for i, q := range res.Queries {
 			reqs[i] = ordlog.QueryRequest{Comp: component, Query: q}
+			if verbose {
+				warnDegraded(prog, fmt.Sprintf("query %s", q), q.Body)
+			}
 		}
 		results := eng.QueryBatchCtx(ctx, reqs, ordlog.BatchOptions{Workers: workers})
 		for qi, q := range res.Queries {

@@ -23,10 +23,21 @@
 //	                   slices (cached per snapshot, keyed by the goal's
 //	                   binding pattern; ?version= pinning is honoured and
 //	                   updates invalidate automatically)
+//	-data-dir p        make tenants durable: per-tenant write-ahead logs
+//	                   under p/<tenant>, crash recovery on boot (every
+//	                   tenant with WAL state is restored before -load
+//	                   runs; preloads of recovered names are skipped so a
+//	                   restart never wipes recovered updates), ?as_of=
+//	                   time-travel reads over the logged history
+//	-sync p            WAL fsync policy: interval (default; background
+//	                   flush) or always (fsync per update)
+//	-checkpoint-every n  WAL checkpoint cadence in update batches
+//	                   (default 256)
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
-// in-flight requests get up to -grace to finish, and the exit status
-// reports whether the drain completed (0) or had to cut connections (1).
+// in-flight requests get up to -grace to finish, the write-ahead logs are
+// flushed and closed, and the exit status reports whether the drain
+// completed (0) or had to cut connections (1).
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	ordlog "repro"
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // loadFlags collects repeated -load name=path pairs in order.
@@ -68,6 +80,9 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "drain budget for graceful shutdown")
 	shards := flag.Int("shards", 0, "engine shards per tenant (0 or 1 = sequential)")
 	goalDirected := flag.Bool("goal-directed", false, "answer /query and /prove from per-goal magic-set slices")
+	dataDir := flag.String("data-dir", "", "durability root: per-tenant write-ahead logs + crash recovery ('' = memory-only)")
+	syncFlag := flag.String("sync", "interval", "WAL fsync policy: always or interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "WAL checkpoint cadence in update batches (0 = default 256)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload tenant from file: name=path (repeatable)")
 	flag.Parse()
@@ -76,22 +91,46 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	syncPolicy, err := wal.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlogd: -sync:", err)
+		os.Exit(2)
+	}
 
 	engCfg := core.Config{Shards: *shards, GoalDirected: *goalDirected}
 	d := serve.New(serve.Config{
-		InFlight:       *inflight,
-		Retain:         *retain,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		Engine:         engCfg,
+		InFlight:        *inflight,
+		Retain:          *retain,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		Engine:          engCfg,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpointEvery,
+		Sync:            syncPolicy,
 	})
+	recovered := map[string]bool{}
+	if names, err := d.RecoverTenants(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "ordlogd: recover -data-dir %s: %v\n", *dataDir, err)
+		os.Exit(1)
+	} else {
+		for _, n := range names {
+			recovered[n] = true
+			fmt.Fprintf(os.Stderr, "ordlogd: recovered tenant %q from %s\n", n, *dataDir)
+		}
+	}
 	for _, l := range loads {
+		if recovered[l.name] {
+			// The WAL already holds this tenant's history, updates included;
+			// re-loading the file would reset it to the file's genesis.
+			fmt.Fprintf(os.Stderr, "ordlogd: tenant %q recovered from -data-dir, skipping -load %s\n", l.name, l.path)
+			continue
+		}
 		res, err := ordlog.ParseFile(l.path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ordlogd: -load %s: %v\n", l.name, err)
 			os.Exit(1)
 		}
-		if _, _, err := d.Registry().Put(context.Background(), l.name, res.Program, engCfg); err != nil {
+		if _, _, err := d.Registry().Put(context.Background(), l.name, res.Program, d.TenantConfig(l.name)); err != nil {
 			fmt.Fprintf(os.Stderr, "ordlogd: -load %s: %v\n", l.name, err)
 			os.Exit(1)
 		}
@@ -107,8 +146,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve.Serve(ctx, serve.NewHTTPServer(d.Handler()), ln, *grace); err != nil {
-		fmt.Fprintln(os.Stderr, "ordlogd:", err)
+	serveErr := serve.Serve(ctx, serve.NewHTTPServer(d.Handler()), ln, *grace)
+	// Flush and close the write-ahead logs after the drain: every acked
+	// in-flight write reaches disk before exit, whatever the sync policy.
+	if err := d.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ordlogd: close write-ahead logs:", err)
+		os.Exit(1)
+	}
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, "ordlogd:", serveErr)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "ordlogd: drained, bye")

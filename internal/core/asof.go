@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/wal"
+)
+
+// asOfCacheSize bounds the engine's FIFO cache of AsOf-materialised
+// snapshots. Time-travel reads cluster on a few versions (a client
+// pinning an audit point); eight distinct versions in flight covers that
+// without letting a version scan hold every reconstruction alive.
+const asOfCacheSize = 8
+
+// AsOf returns a snapshot of the engine's state as of a past version —
+// the first-class time-travel read. Three sources, tried in order: the
+// current snapshot (free), the engine's in-memory update history (any
+// version back to the engine's initial grounding, rebuilt through the
+// effective-program path), and — on a durable engine — the WAL on disk
+// (versions before the recovered checkpoint). Failures are typed:
+// ErrVersionUnknown for versions never published (ahead of the tip),
+// ErrVersionEvicted for versions that predate every reachable source.
+//
+// The returned snapshot answers queries exactly as the engine did at that
+// version, but it is a read-only reconstruction: it belongs to a private
+// replay engine, so updating through its Engine() does not advance this
+// engine. Reconstructions are cached (small FIFO), so repeated reads of
+// the same version pay the rebuild once.
+func (e *Engine) AsOf(version uint64) (*Snapshot, error) {
+	return e.AsOfCtx(context.Background(), version)
+}
+
+// AsOfCtx is AsOf with cooperative cancellation of the reconstruction's
+// grounding phase.
+func (e *Engine) AsOfCtx(ctx context.Context, version uint64) (*Snapshot, error) {
+	cur := e.Current()
+	if version == cur.Version() {
+		return cur, nil
+	}
+	if version > cur.Version() {
+		return nil, fmt.Errorf("%w: v%d is ahead of current v%d", ErrVersionUnknown, version, cur.Version())
+	}
+	if s := e.asOfCached(version); s != nil {
+		return s, nil
+	}
+	var snap *Snapshot
+	var err error
+	switch {
+	case version >= e.base:
+		snap, err = e.asOfFromMemory(ctx, cur, version)
+	case e.dur != nil:
+		snap, err = e.asOfFromDisk(ctx, version)
+	default:
+		return nil, fmt.Errorf("%w: v%d predates this engine's history (no durability configured)", ErrVersionEvicted, version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.asOfStore(version, snap)
+	return snap, nil
+}
+
+// asOfFromMemory rebuilds a version from the in-memory update history:
+// the prefix of the current snapshot's log up to the requested version,
+// replayed over the engine's source program.
+func (e *Engine) asOfFromMemory(ctx context.Context, cur *Snapshot, version uint64) (*Snapshot, error) {
+	var events []factEvent
+	for _, ev := range cur.log {
+		if ev.ver <= version {
+			events = append(events, ev)
+		}
+	}
+	return e.materializeAsOf(ctx, e.src, events, version)
+}
+
+// asOfFromDisk rebuilds a version older than the engine's base from the
+// WAL: newest on-disk checkpoint at or before it, plus the log records up
+// to it. Only durable engines get here; a version below the oldest
+// checkpoint is gone (checkpoints before the genesis one were never
+// written) and reports ErrVersionEvicted.
+func (e *Engine) asOfFromDisk(ctx context.Context, version uint64) (*Snapshot, error) {
+	d := e.dur
+	cps, err := wal.Checkpoints(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: as-of v%d: %w", version, err)
+	}
+	var cp *wal.Checkpoint
+	for i := range cps {
+		if cps[i].Name == d.name && cps[i].Version <= version {
+			cp = &cps[i] // ascending order: the last match is the newest
+		}
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("%w: v%d predates the oldest checkpoint", ErrVersionEvicted, version)
+	}
+	res, err := wal.ReadLog(d.dir, wal.Genesis(d.name), false)
+	if err != nil {
+		return nil, fmt.Errorf("core: as-of v%d: %w", version, err)
+	}
+	prog, err := parser.ParseProgram(cp.Program)
+	if err != nil {
+		return nil, fmt.Errorf("%w: as-of v%d: checkpoint program: %v", wal.ErrCorrupt, version, err)
+	}
+	var events []factEvent
+	for _, rec := range res.Records[cp.Seq:] {
+		if rec.Version > version {
+			break
+		}
+		ci, ok := prog.ComponentIndex(rec.Comp)
+		if !ok {
+			return nil, fmt.Errorf("%w: as-of v%d: record %d names unknown component %q", wal.ErrCorrupt, version, rec.Seq, rec.Comp)
+		}
+		for _, fs := range rec.Facts {
+			lit, err := parser.ParseLiteral(fs)
+			if err != nil {
+				return nil, fmt.Errorf("%w: as-of v%d: record %d fact %q: %v", wal.ErrCorrupt, version, rec.Seq, fs, err)
+			}
+			events = append(events, factEvent{comp: ci, lit: lit, retract: rec.Op == "retract", ver: rec.Version})
+		}
+	}
+	return e.materializeAsOf(ctx, prog, events, version)
+}
+
+// materializeAsOf grounds the effective program (src plus events) in a
+// private throwaway engine whose snapshot carries the requested version.
+// The engine copies this engine's evaluation config but drops durability
+// (a reconstruction must never write to the WAL) and tracing.
+func (e *Engine) materializeAsOf(ctx context.Context, src *ast.OrderedProgram, events []factEvent, version uint64) (*Snapshot, error) {
+	eff, err := effectiveProgram(src, events)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
+	cfg.Durability = Durability{}
+	cfg.Trace = nil
+	sub, err := newEngineAt(ctx, eff, cfg, version)
+	if err != nil {
+		return nil, fmt.Errorf("core: as-of v%d: %w", version, err)
+	}
+	return sub.Current(), nil
+}
+
+func (e *Engine) asOfCached(version uint64) *Snapshot {
+	e.asOfMu.Lock()
+	defer e.asOfMu.Unlock()
+	return e.asOfCache[version]
+}
+
+func (e *Engine) asOfStore(version uint64, s *Snapshot) {
+	e.asOfMu.Lock()
+	defer e.asOfMu.Unlock()
+	if e.asOfCache == nil {
+		e.asOfCache = make(map[uint64]*Snapshot, asOfCacheSize)
+	}
+	if _, ok := e.asOfCache[version]; ok {
+		return
+	}
+	e.asOfCache[version] = s
+	e.asOfOrder = append(e.asOfOrder, version)
+	if len(e.asOfOrder) > asOfCacheSize {
+		delete(e.asOfCache, e.asOfOrder[0])
+		e.asOfOrder = e.asOfOrder[1:]
+	}
+}

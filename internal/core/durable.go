@@ -1,0 +1,277 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/wal"
+)
+
+// Recovery metrics, resolved once (see internal/wal for the append-side
+// families).
+var (
+	mRecoverRecords = obs.Default().Counter("wal.recover.records")
+	mRecoverMs      = obs.Default().Counter("wal.recover.ms")
+)
+
+// durable is the WAL state of one durable engine. Updates touch it only
+// under the engine's write lock; the wal.Log has its own mutex for the
+// background flusher.
+type durable struct {
+	dir     string
+	name    string
+	every   int
+	log     *wal.Log
+	sinceCP int // appends since the last checkpoint
+}
+
+// initDurability starts a fresh durable history for a newly constructed
+// engine: the directory is created, any previous WAL state in it is
+// removed (NewEngine means "this program is the new genesis" — Recover is
+// the path that restores a history), a genesis checkpoint of the source
+// program is written, and the log is opened. The checkpoint write doubles
+// as the writability probe the config contract promises: an unusable
+// directory surfaces as a *ConfigError from NewEngine.
+func (e *Engine) initDurability() error {
+	d := e.cfg.Durability
+	fail := func(err error) error {
+		return &ConfigError{Field: "Durability.Dir", Value: d.Dir, Reason: err.Error()}
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return fail(err)
+	}
+	if err := wal.Reset(d.Dir); err != nil {
+		return fail(err)
+	}
+	genesis := wal.Genesis(d.Name)
+	cp := &wal.Checkpoint{Name: d.Name, Version: e.base, Seq: 0, ChainHead: genesis, Program: e.src.String()}
+	if err := wal.WriteCheckpoint(d.Dir, cp); err != nil {
+		return fail(err)
+	}
+	log, err := wal.OpenLog(d.Dir, genesis, 0, d.Sync)
+	if err != nil {
+		return fail(err)
+	}
+	e.dur = &durable{dir: d.Dir, name: d.Name, every: d.CheckpointEvery, log: log}
+	return nil
+}
+
+// Durable reports whether the engine has a write-ahead log attached.
+func (e *Engine) Durable() bool { return e.dur != nil }
+
+// DurableName returns the tenant name seeding the WAL hash chain ("" for
+// a memory-only engine or an anonymous one).
+func (e *Engine) DurableName() string {
+	if e.dur == nil {
+		return ""
+	}
+	return e.dur.name
+}
+
+// Close flushes and closes the engine's write-ahead log. Memory-only
+// engines are a no-op. After Close, updates fail (the log rejects
+// appends) but reads keep working; closing twice is safe.
+func (e *Engine) Close() error {
+	if e.dur == nil {
+		return nil
+	}
+	return e.dur.log.Close()
+}
+
+// walAppend logs the batch producing child. Called under writeMu before
+// the child snapshot is published — the write-ahead half of the contract:
+// a version an observer can see is always on disk (fsynced per policy)
+// first. An append failure fails the update; the snapshot is discarded
+// unpublished.
+func (e *Engine) walAppend(child *Snapshot, ci int, verb string, ops []ast.Literal) error {
+	if e.dur == nil {
+		return nil
+	}
+	facts := make([]string, len(ops))
+	for i, f := range ops {
+		facts[i] = f.String()
+	}
+	_, err := e.dur.log.Append(child.version, verb, e.src.Components[ci].Name, facts)
+	if err != nil {
+		return fmt.Errorf("core: update v%d not logged: %w", child.version, err)
+	}
+	return nil
+}
+
+// walCheckpoint writes a snapshot checkpoint when the cadence is due.
+// Called under writeMu after the child snapshot is published; the log is
+// synced first so the checkpoint never claims records the log could lose.
+// On error the update itself has been applied and logged — only the
+// checkpoint (a pure replay-length optimisation) is missing.
+func (e *Engine) walCheckpoint(child *Snapshot) error {
+	d := e.dur
+	if d == nil {
+		return nil
+	}
+	d.sinceCP++
+	if d.sinceCP < d.every {
+		return nil
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	eff, err := effectiveProgram(e.src, child.log)
+	if err != nil {
+		return err
+	}
+	seq, head := d.log.Head()
+	cp := &wal.Checkpoint{Name: d.name, Version: child.version, Seq: seq, ChainHead: head, Program: eff.String()}
+	if err := wal.WriteCheckpoint(d.dir, cp); err != nil {
+		return err
+	}
+	d.sinceCP = 0
+	return nil
+}
+
+// Recover rebuilds a durable engine from dir: load the newest checkpoint
+// consistent with the surviving log, replay the WAL suffix through the
+// ordinary Update/Retract path (the already-tested effective-program
+// machinery — recovery exercises no code of its own), and verify the
+// hash chain across every surviving record. A torn final record — the
+// artifact of a crash mid-append — is truncated away; any other CRC or
+// chain damage aborts recovery with an error wrapping wal.ErrCorrupt.
+//
+// cfg/opts configure the recovered engine exactly as NewEngine would; the
+// durability directory is forced to dir and the tenant name is adopted
+// from the checkpoints (setting a conflicting WithDurableName is an
+// error). The recovered engine continues appending to the same log.
+func Recover(ctx context.Context, dir string, cfg Config, opts ...Option) (*Engine, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.Durability.Dir = dir
+	if cfg.Durability.CheckpointEvery == 0 {
+		cfg.Durability.CheckpointEvery = DefaultCheckpointEvery
+	}
+	start := time.Now()
+	cps, err := wal.Checkpoints(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: %w", dir, err)
+	}
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("core: recover %s: no checkpoint (not a durability directory)", dir)
+	}
+	name := cps[0].Name
+	for _, cp := range cps {
+		if cp.Name != name {
+			return nil, fmt.Errorf("%w: recover %s: checkpoints disagree on tenant name (%q vs %q)", wal.ErrCorrupt, dir, name, cp.Name)
+		}
+	}
+	if cfg.Durability.Name == "" {
+		cfg.Durability.Name = name
+	} else if cfg.Durability.Name != name {
+		return nil, &ConfigError{Field: "Durability.Name", Value: cfg.Durability.Name, Reason: fmt.Sprintf("directory %s belongs to %q", dir, name)}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	genesis := wal.Genesis(name)
+	res, err := wal.ReadLog(dir, genesis, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: %w", dir, err)
+	}
+	if res.Torn {
+		if err := os.Truncate(filepath.Join(dir, wal.LogName), res.Good); err != nil {
+			return nil, fmt.Errorf("core: recover %s: truncate torn tail: %w", dir, err)
+		}
+	}
+	hashAt := func(seq uint64) string {
+		if seq == 0 {
+			return genesis
+		}
+		return res.Records[seq-1].Hash
+	}
+	// Newest checkpoint consistent with the surviving log. A checkpoint can
+	// outrun the log when the crash lost unsynced records written after it
+	// was taken; falling back to an earlier one re-replays them from the
+	// log... which lost them too, so state and log agree again.
+	var cp *wal.Checkpoint
+	consistent := func(c *wal.Checkpoint) bool {
+		return c.Seq <= uint64(len(res.Records)) && c.ChainHead == hashAt(c.Seq)
+	}
+	for i := len(cps) - 1; i >= 0; i-- {
+		if consistent(&cps[i]) {
+			cp = &cps[i]
+			break
+		}
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("%w: recover %s: no checkpoint is consistent with the log", wal.ErrCorrupt, dir)
+	}
+	// Prune checkpoints describing state the crash destroyed (they claim
+	// records beyond the surviving log): recovery re-takes checkpoints as
+	// updates resume, and a pruned directory passes `wal verify` again.
+	for i := range cps {
+		if consistent(&cps[i]) {
+			continue
+		}
+		if err := wal.RemoveCheckpoint(dir, cps[i].Version); err != nil {
+			return nil, fmt.Errorf("core: recover %s: prune stale checkpoint v%d: %w", dir, cps[i].Version, err)
+		}
+	}
+	prog, err := parser.ParseProgram(cp.Program)
+	if err != nil {
+		return nil, fmt.Errorf("%w: recover %s: checkpoint v%d program: %v", wal.ErrCorrupt, dir, cp.Version, err)
+	}
+	e, err := newEngineAt(ctx, prog, cfg, cp.Version)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: reground checkpoint v%d: %w", dir, cp.Version, err)
+	}
+	// Replay the suffix with e.dur still nil: the records are already on
+	// disk, the replaying updates must not re-log them.
+	suffix := res.Records[cp.Seq:]
+	for _, rec := range suffix {
+		facts := make([]ast.Literal, len(rec.Facts))
+		for i, fs := range rec.Facts {
+			lit, err := parser.ParseLiteral(fs)
+			if err != nil {
+				return nil, fmt.Errorf("%w: recover %s: record %d fact %q: %v", wal.ErrCorrupt, dir, rec.Seq, fs, err)
+			}
+			facts[i] = lit
+		}
+		var snap *Snapshot
+		switch rec.Op {
+		case "assert":
+			snap, err = e.Update(ctx, rec.Comp, facts)
+		case "retract":
+			snap, err = e.Retract(ctx, rec.Comp, facts)
+		default:
+			return nil, fmt.Errorf("%w: recover %s: record %d has unknown op %q", wal.ErrCorrupt, dir, rec.Seq, rec.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: recover %s: replay record %d: %w", dir, rec.Seq, err)
+		}
+		if snap.Version() != rec.Version {
+			return nil, fmt.Errorf("%w: recover %s: replay diverged at record %d (reached v%d, log says v%d)", wal.ErrCorrupt, dir, rec.Seq, snap.Version(), rec.Version)
+		}
+	}
+	log, err := wal.OpenLog(dir, hashAt(uint64(len(res.Records))), uint64(len(res.Records)), cfg.Durability.Sync)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: reopen log: %w", dir, err)
+	}
+	e.dur = &durable{dir: dir, name: name, every: cfg.Durability.CheckpointEvery, log: log, sinceCP: len(suffix)}
+	if obs.On() {
+		mRecoverRecords.Add(int64(len(suffix)))
+		mRecoverMs.Add(time.Since(start).Milliseconds())
+		mVersion.Set(int64(e.Current().Version()))
+	}
+	if e.trace.Enabled() {
+		e.trace.Emit(obs.E("recover",
+			obs.F("dir", dir),
+			obs.F("checkpoint", cp.Version),
+			obs.F("replayed", len(suffix)),
+			obs.F("version", e.Current().Version())))
+	}
+	return e, nil
+}

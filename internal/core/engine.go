@@ -55,12 +55,28 @@ type Engine struct {
 	cfg   Config
 	trace *tracer
 
+	// base is the version of the engine's initial snapshot: 0 for a fresh
+	// engine, the recovered checkpoint's version after core.Recover. The
+	// engine's in-memory update history (Snapshot.log) starts at base;
+	// AsOf reads below it go through the WAL on disk.
+	base uint64
+
+	// dur is the write-ahead log state of a durable engine, nil for a
+	// memory-only one. Only touched under writeMu (updates) or at
+	// construction/Close.
+	dur *durable
+
 	// writeMu serialises updates; baseFacts (the source program's ground
 	// fact rules, built lazily) is only touched under it. current is the
 	// published tip, advanced by updates and read lock-free by queries.
 	writeMu   sync.Mutex
 	baseFacts map[factKey]bool
 	current   atomic.Pointer[Snapshot]
+
+	// asOfMu guards the small FIFO cache of AsOf-materialised snapshots.
+	asOfMu    sync.Mutex
+	asOfCache map[uint64]*Snapshot
+	asOfOrder []uint64
 }
 
 // NewEngine grounds the program into the engine's initial snapshot. The
@@ -81,15 +97,34 @@ func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config, opts .
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{src: p, cfg: cfg, trace: newTracer(cfg.Trace)}
+	e, err := newEngineAt(ctx, p, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Durability.Dir != "" {
+		if err := e.initDurability(); err != nil {
+			return nil, err
+		}
+	}
+	if obs.On() {
+		mVersion.Set(0)
+	}
+	return e, nil
+}
+
+// newEngineAt grounds p into an engine whose initial snapshot carries
+// version base. It is the shared constructor core of NewEngineCtx (base
+// 0), Recover (base = checkpoint version) and AsOf materialisation (base
+// = requested version); cfg must already be validated, and the caller
+// owns the version gauge and durability attachment — throwaway AsOf
+// engines must touch neither.
+func newEngineAt(ctx context.Context, p *ast.OrderedProgram, cfg Config, base uint64) (*Engine, error) {
+	e := &Engine{src: p, cfg: cfg, base: base, trace: newTracer(cfg.Trace)}
 	gp, err := ground.GroundCtx(ctx, p, e.groundOpts())
 	if err != nil {
 		return nil, err
 	}
-	e.current.Store(&Snapshot{eng: e, gp: gp, rules: gp.Rules, comps: make(map[int]*compState)})
-	if obs.On() {
-		mVersion.Set(0)
-	}
+	e.current.Store(&Snapshot{eng: e, version: base, gp: gp, rules: gp.Rules, comps: make(map[int]*compState)})
 	if e.trace.Enabled() {
 		e.trace.Emit(obs.E("ground", obs.F("rules", len(gp.Rules)), obs.F("atoms", gp.Tab.Len())))
 	}

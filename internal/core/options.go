@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ground"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Config configures an Engine.
@@ -60,6 +61,50 @@ type Config struct {
 	// full grounding. Requires smart grounding mode and is incompatible
 	// with a fixed Ground.Goal.
 	GoalDirected bool
+
+	// Durability, when its Dir is non-empty, makes the engine durable: every
+	// Update/Retract batch is appended to a hash-chained write-ahead log in
+	// Dir before its snapshot is published, with periodic checkpoints so
+	// recovery (core.Recover) replays only a log suffix. See the Durability
+	// type and DESIGN §13. The zero value keeps the engine memory-only.
+	Durability Durability
+}
+
+// DefaultCheckpointEvery is the checkpoint cadence WithDurability presets:
+// one snapshot checkpoint per this many logged update batches.
+const DefaultCheckpointEvery = 256
+
+// Durability configures the opt-in write-ahead log of one engine.
+//
+// Snapshot contract: with a non-empty Dir, Update/Retract appends the
+// batch's effective operations to the WAL — fsynced per Sync — before the
+// new snapshot becomes visible, so every version an observer can read is
+// reconstructible by Recover. NewEngine resets Dir to an empty history
+// (the engine's program is the new genesis); Recover is the path that
+// restores one. Every CheckpointEvery appended batches the engine syncs
+// the log and writes a checkpoint (serialized effective program + version
+// + chain head), bounding replay length. Invalid combinations — a
+// checkpoint interval <= 0 with durability on, Sync or CheckpointEvery
+// without a Dir, an unwritable Dir — are rejected with a *ConfigError.
+type Durability struct {
+	// Dir is the durability directory (one engine/tenant per directory).
+	// Empty means memory-only.
+	Dir string
+
+	// Name seeds the SHA-256 hash chain (wal.Genesis), so logs of two
+	// named tenants can never be swapped undetected. Empty means the
+	// anonymous genesis seed.
+	Name string
+
+	// CheckpointEvery is the number of logged batches between snapshot
+	// checkpoints. WithDurability presets DefaultCheckpointEvery; an
+	// explicit value must be >= 1 when durability is on.
+	CheckpointEvery int
+
+	// Sync is the fsync policy: wal.SyncInterval (default; background
+	// flush every wal.FlushInterval) or wal.SyncAlways (fsync inside
+	// every update).
+	Sync wal.SyncPolicy
 }
 
 // Option is a functional engine option applied on top of a Config by
@@ -83,6 +128,32 @@ func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
 // WithGoalDirected sets Config.GoalDirected: route queries and proofs
 // through per-goal magic-set slices instead of full least models.
 func WithGoalDirected(on bool) Option { return func(c *Config) { c.GoalDirected = on } }
+
+// WithDurability turns on the write-ahead log in dir and, when no cadence
+// has been chosen yet, presets Durability.CheckpointEvery to
+// DefaultCheckpointEvery. Compose with WithCheckpointEvery / WithSync /
+// WithDurableName to tune; see the Durability type for the contract.
+func WithDurability(dir string) Option {
+	return func(c *Config) {
+		c.Durability.Dir = dir
+		if c.Durability.CheckpointEvery == 0 {
+			c.Durability.CheckpointEvery = DefaultCheckpointEvery
+		}
+	}
+}
+
+// WithCheckpointEvery sets Durability.CheckpointEvery: the number of
+// logged update batches between snapshot checkpoints. Requires
+// WithDurability; values <= 0 are rejected by validation.
+func WithCheckpointEvery(n int) Option { return func(c *Config) { c.Durability.CheckpointEvery = n } }
+
+// WithSync sets Durability.Sync, the WAL fsync policy. Requires
+// WithDurability.
+func WithSync(p wal.SyncPolicy) Option { return func(c *Config) { c.Durability.Sync = p } }
+
+// WithDurableName sets Durability.Name, the hash-chain genesis seed.
+// Requires WithDurability.
+func WithDurableName(name string) Option { return func(c *Config) { c.Durability.Name = name } }
 
 // ConfigError reports an invalid Config field. It is returned (wrapped in
 // nothing) by NewEngine, so callers can errors.As for it and inspect which
@@ -135,6 +206,25 @@ func (c *Config) Validate() error {
 		}
 		if len(g.Goal) > 0 {
 			return &ConfigError{Field: "GoalDirected", Value: true, Reason: "incompatible with a fixed Ground.Goal (the engine slices per query)"}
+		}
+	}
+	d := c.Durability
+	if d.Dir == "" {
+		if d.CheckpointEvery != 0 {
+			return &ConfigError{Field: "Durability.CheckpointEvery", Value: d.CheckpointEvery, Reason: "needs WithDurability (no durability directory configured)"}
+		}
+		if d.Sync != wal.SyncInterval {
+			return &ConfigError{Field: "Durability.Sync", Value: d.Sync, Reason: "needs WithDurability (no durability directory configured)"}
+		}
+		if d.Name != "" {
+			return &ConfigError{Field: "Durability.Name", Value: d.Name, Reason: "needs WithDurability (no durability directory configured)"}
+		}
+	} else {
+		if d.CheckpointEvery < 1 {
+			return &ConfigError{Field: "Durability.CheckpointEvery", Value: d.CheckpointEvery, Reason: "must be >= 1 with durability on (WithDurability presets the default)"}
+		}
+		if d.Sync != wal.SyncInterval && d.Sync != wal.SyncAlways {
+			return &ConfigError{Field: "Durability.Sync", Value: d.Sync, Reason: "unknown sync policy (want wal.SyncInterval or wal.SyncAlways)"}
 		}
 	}
 	return nil

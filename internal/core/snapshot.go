@@ -63,11 +63,14 @@ type factKey struct {
 	lit  string
 }
 
-// factEvent is one entry of a snapshot's update history.
+// factEvent is one entry of a snapshot's update history. ver is the
+// version the event's batch published, so AsOf can cut the history at any
+// past version by prefix.
 type factEvent struct {
 	comp    int
 	lit     ast.Literal
 	retract bool
+	ver     uint64
 }
 
 // compState holds the lazily built per-component artifacts. The view is
@@ -425,7 +428,7 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 	newLog := make([]factEvent, 0, len(parent.log)+len(ops))
 	newLog = append(newLog, parent.log...)
 	for _, f := range ops {
-		newLog = append(newLog, factEvent{comp: ci, lit: f, retract: retract})
+		newLog = append(newLog, factEvent{comp: ci, lit: f, retract: retract, ver: parent.version + 1})
 	}
 	overlay := make(map[factKey]bool, len(parent.factLive)+len(ops))
 	for k, v := range parent.factLive {
@@ -441,6 +444,12 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 	// inherent or tuning — carries its reason into the trace and counters.
 	child, err := e.applyIncremental(ctx, parent, ci, ops, retract, overlay, newLog)
 	if err == nil {
+		// Write-ahead: the batch reaches the log (fsynced per policy) before
+		// the snapshot becomes visible, so every observable version is
+		// recoverable. An append failure discards the unpublished child.
+		if err := e.walAppend(child, ci, verb, ops); err != nil {
+			return nil, err
+		}
 		e.current.Store(child)
 		if obs.On() {
 			mUpdates.Inc()
@@ -449,6 +458,9 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 		}
 		if e.trace.Enabled() {
 			e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), "incremental", ""))
+		}
+		if err := e.walCheckpoint(child); err != nil {
+			return nil, fmt.Errorf("core: update v%d applied and logged, checkpoint failed: %w", child.version, err)
 		}
 		return child, nil
 	}
@@ -460,6 +472,9 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 	if err != nil {
 		return nil, err
 	}
+	if err := e.walAppend(child, ci, verb, ops); err != nil {
+		return nil, err
+	}
 	e.current.Store(child)
 	if obs.On() {
 		mUpdates.Inc()
@@ -468,6 +483,9 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 	countFallback(reason)
 	if e.trace.Enabled() {
 		e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), "reground", reason))
+	}
+	if err := e.walCheckpoint(child); err != nil {
+		return nil, fmt.Errorf("core: update v%d applied and logged, checkpoint failed: %w", child.version, err)
 	}
 	return child, nil
 }

@@ -92,6 +92,23 @@ func (t *Tenant) At(version uint64) (*Snapshot, error) {
 	return nil, fmt.Errorf("%w: v%d (retaining the last %d versions)", ErrVersionEvicted, version, t.retain)
 }
 
+// AsOf resolves a time-travel snapshot: the retention ring when the
+// version is still pinned there (same fast path as At), otherwise the
+// engine's AsOf reconstruction through the update history and — on a
+// durable tenant — the WAL. The error contract matches At's:
+// ErrVersionUnknown ahead of the tip, ErrVersionEvicted when the version
+// predates every reachable source.
+func (t *Tenant) AsOf(version uint64) (*Snapshot, error) {
+	s, err := t.At(version)
+	if err == nil {
+		return s, nil
+	}
+	if !errors.Is(err, ErrVersionEvicted) {
+		return nil, err
+	}
+	return t.eng.AsOf(version)
+}
+
 // Versions returns the pinnable versions, ascending. The current version
 // is always present.
 func (t *Tenant) Versions() []uint64 {
@@ -189,7 +206,18 @@ func (r *Registry) Put(ctx context.Context, name string, p *ast.OrderedProgram, 
 	if err != nil {
 		return nil, false, err
 	}
-	t = &Tenant{
+	t, replaced = r.publish(name, eng)
+	return t, replaced, nil
+}
+
+// publish wraps eng as a tenant and swaps it in under name, closing the
+// replaced tenant's engine (if any). Closing matters for durable tenants:
+// the old engine shares the new one's WAL directory, and a stale writer
+// appending to it would fork the hash chain — after Close its writes fail
+// with wal.ErrClosed instead. In-flight reads against the old engine are
+// unaffected.
+func (r *Registry) publish(name string, eng *Engine) (*Tenant, bool) {
+	t := &Tenant{
 		name:     name,
 		eng:      eng,
 		sem:      batch.NewSemaphore(r.inflight),
@@ -197,9 +225,26 @@ func (r *Registry) Put(ctx context.Context, name string, p *ast.OrderedProgram, 
 		retained: []*Snapshot{eng.Current()},
 	}
 	r.mu.Lock()
-	_, replaced = r.tenants[name]
+	old := r.tenants[name]
 	r.tenants[name] = t
 	r.mu.Unlock()
+	if old != nil {
+		_ = old.eng.Close()
+	}
+	return t, old != nil
+}
+
+// Attach publishes an already constructed engine — typically one rebuilt
+// by core.Recover — under the name, with the same replace semantics as
+// Put.
+func (r *Registry) Attach(name string, eng *Engine) (t *Tenant, replaced bool, err error) {
+	if name == "" {
+		return nil, false, fmt.Errorf("core: tenant name must be non-empty")
+	}
+	if eng == nil {
+		return nil, false, fmt.Errorf("core: tenant %q: nil engine", name)
+	}
+	t, replaced = r.publish(name, eng)
 	return t, replaced, nil
 }
 
@@ -216,10 +261,32 @@ func (r *Registry) Get(name string) (*Tenant, bool) {
 // they do.
 func (r *Registry) Drop(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.tenants[name]
+	t, ok := r.tenants[name]
 	delete(r.tenants, name)
+	r.mu.Unlock()
+	if ok {
+		_ = t.eng.Close()
+	}
 	return ok
+}
+
+// Close flushes and closes every tenant's write-ahead log (a no-op for
+// memory-only tenants), returning the first error. The daemon calls it
+// after drain so a graceful shutdown never loses interval-sync appends.
+func (r *Registry) Close() error {
+	r.mu.RLock()
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.mu.RUnlock()
+	var first error
+	for _, t := range tenants {
+		if err := t.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Names returns the tenant names, sorted.

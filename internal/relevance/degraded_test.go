@@ -1,0 +1,75 @@
+package relevance_test
+
+import (
+	"testing"
+
+	"repro/internal/relevance"
+)
+
+// The degraded-SIP pin: head-only information passing loses the binding
+// exactly when it only flows through body-local variables, and the
+// analysis must name those predicates so callers can warn (DESIGN §12).
+
+const rightRecSrc = `
+module main {
+  edge(c0, c1). edge(c1, c2).
+  path(X, Z) :- edge(X, Y), path(Y, Z).
+  path(X, Y) :- edge(X, Y).
+}
+`
+
+const leftRecSrc = `
+module main {
+  edge(c0, c1). edge(c1, c2).
+  path(X, Z) :- path(X, Y), edge(Y, Z).
+  path(X, Y) :- edge(X, Y).
+}
+`
+
+func TestDegradedRightRecursion(t *testing.T) {
+	// path(c0, X) over the right-recursive rule: the recursive call
+	// path(Y, Z) shares no variable with the head's bound position — Y is
+	// reachable only sideways through edge(X, Y) — so the head-only SIP
+	// collapses path to all-free and must report it as degraded.
+	a := relevance.Analyze(parse(t, rightRecSrc), goalOf(t, "path(c0, X)"))
+	if got := a.AdornString(key("path", 2)); got != "path/2^ff" {
+		t.Fatalf("path adornment = %q, want path/2^ff (head-only loses the binding)", got)
+	}
+	if len(a.Degraded) != 1 || a.Degraded[0] != key("path", 2) {
+		t.Fatalf("Degraded = %v, want [path/2]", a.Degraded)
+	}
+}
+
+func TestLeftRecursionNotDegraded(t *testing.T) {
+	// The left-recursive formulation passes the binding through the head
+	// variable X itself: restricted to (b,f), nothing degraded.
+	a := relevance.Analyze(parse(t, leftRecSrc), goalOf(t, "path(c0, X)"))
+	if got := a.AdornString(key("path", 2)); got != "path/2^bf" {
+		t.Fatalf("path adornment = %q, want path/2^bf", got)
+	}
+	if len(a.Degraded) != 0 {
+		t.Fatalf("Degraded = %v, want none", a.Degraded)
+	}
+}
+
+func TestPointGoalRightRecursionNotDegraded(t *testing.T) {
+	// A fully ground goal still keeps the second position bound through
+	// the head (Z appears in both head and recursive call), so the slice
+	// stays restricted and no degradation is reported.
+	a := relevance.Analyze(parse(t, rightRecSrc), goalOf(t, "path(c0, c2)"))
+	if got := a.AdornString(key("path", 2)); got != "path/2^fb" {
+		t.Fatalf("path adornment = %q, want path/2^fb", got)
+	}
+	if len(a.Degraded) != 0 {
+		t.Fatalf("Degraded = %v, want none", a.Degraded)
+	}
+}
+
+func TestAllFreeGoalNotDegraded(t *testing.T) {
+	// An unbound goal was never restricted to begin with: all-free by
+	// construction is not a degradation.
+	a := relevance.Analyze(parse(t, rightRecSrc), goalOf(t, "path(X, Y)"))
+	if len(a.Degraded) != 0 {
+		t.Fatalf("Degraded = %v, want none for an all-free goal", a.Degraded)
+	}
+}

@@ -1,0 +1,16 @@
+package relevance
+
+import "repro/internal/obs"
+
+// mDegraded counts predicates whose head-only SIP degraded to
+// unrestricted (see Analysis.Degraded): the visibility hook for the known
+// PR-8 limit, so a deployment can tell "goal-directed but sliced" apart
+// from "goal-directed in name only" without tracing every analysis.
+var mDegraded = obs.Default().Counter("relevance.sip.degraded")
+
+func countDegraded(n int) {
+	if n == 0 || !obs.On() {
+		return
+	}
+	mDegraded.Add(int64(n))
+}

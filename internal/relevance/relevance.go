@@ -59,6 +59,15 @@ type Analysis struct {
 	EDB   map[ast.PredKey]bool
 	Magic []*datalog.Rule
 	Seeds []Seed
+
+	// Degraded lists (sorted) the predicates whose head-only SIP collapsed
+	// to all-free even though a full left-to-right SIP would keep at least
+	// one position bound — the known head-only limit (DESIGN §12): the
+	// binding only flows through body-local variables, e.g. the
+	// right-recursive path(X,Z) :- edge(X,Y), path(Y,Z) under goal
+	// path(c,W). A degraded predicate loses its magic restriction, so the
+	// slice for it is the unrestricted (full) grounding of its region.
+	Degraded []ast.PredKey
 }
 
 // Analyze runs the demand/adornment analysis of p for the conjunctive
@@ -136,14 +145,14 @@ func Analyze(p *ast.OrderedProgram, goal []ast.Literal) *Analysis {
 	// rules (every rule of byHead[k] for demanded k qualifies — its head
 	// predicate is k).
 	type occurrence struct {
-		r *ast.Rule
-		l ast.Literal
+		r   *ast.Rule
+		idx int // body position, so sibling literals can be identified
 	}
 	occs := make(map[ast.PredKey][]occurrence)
 	for k := range a.Demanded {
 		for _, r := range byHead[k] {
-			for _, l := range r.Body {
-				occs[l.Atom.Key()] = append(occs[l.Atom.Key()], occurrence{r, l})
+			for i, l := range r.Body {
+				occs[l.Atom.Key()] = append(occs[l.Atom.Key()], occurrence{r, i})
 			}
 		}
 	}
@@ -163,67 +172,112 @@ func Analyze(p *ast.OrderedProgram, goal []ast.Literal) *Analysis {
 	pinnedFree := func(k ast.PredKey) bool {
 		return k.Arity == 0 || a.EDB[k] || (len(occs[k]) == 0 && !inGoal[k])
 	}
-	for k := range a.Demanded {
-		if pinnedFree(k) {
-			a.Adorn[k] = make([]bool, k.Arity)
-			continue
-		}
-		m := make([]bool, k.Arity)
-		for i := range m {
-			m[i] = true
-		}
-		a.Adorn[k] = m
-	}
-	headBoundVars := func(r *ast.Rule) map[string]bool {
-		mask := a.Adorn[r.Head.Atom.Key()]
-		var hb map[string]bool
-		for i, t := range r.Head.Atom.Args {
-			if !mask[i] {
-				continue
-			}
-			for _, v := range ast.TermVars(t, nil) {
-				if hb == nil {
-					hb = make(map[string]bool)
-				}
-				hb[v.Name] = true
-			}
-		}
-		return hb
-	}
-	for changed := true; changed; {
-		changed = false
-		for k, mask := range a.Adorn {
+	// solve runs the fixpoint over a private mask map. With sideways off
+	// this is the engine's real head-only SIP. With sideways on, a call
+	// site's bound-variable set optimistically includes every variable of
+	// its sibling body literals — the upper bound a full left-to-right SIP
+	// (free to order the body) could deliver; it exists only to detect
+	// degradation, never to drive grounding.
+	solve := func(sideways bool) map[ast.PredKey][]bool {
+		adorn := make(map[ast.PredKey][]bool, len(a.Demanded))
+		for k := range a.Demanded {
 			if pinnedFree(k) {
+				adorn[k] = make([]bool, k.Arity)
 				continue
 			}
-			nm := make([]bool, k.Arity)
-			for i := range nm {
-				nm[i] = true
+			m := make([]bool, k.Arity)
+			for i := range m {
+				m[i] = true
 			}
-			for _, gl := range goal {
-				if gl.Atom.Key() != k {
+			adorn[k] = m
+		}
+		headBoundVars := func(r *ast.Rule) map[string]bool {
+			mask := adorn[r.Head.Atom.Key()]
+			var hb map[string]bool
+			for i, t := range r.Head.Atom.Args {
+				if !mask[i] {
 					continue
 				}
-				for i, t := range gl.Atom.Args {
-					if !t.Ground() {
-						nm[i] = false
+				for _, v := range ast.TermVars(t, nil) {
+					if hb == nil {
+						hb = make(map[string]bool)
 					}
+					hb[v.Name] = true
 				}
 			}
-			for _, o := range occs[k] {
-				hb := headBoundVars(o.r)
-				for i, t := range o.l.Atom.Args {
-					if nm[i] && !argBound(t, hb) {
-						nm[i] = false
+			return hb
+		}
+		for changed := true; changed; {
+			changed = false
+			for k, mask := range adorn {
+				if pinnedFree(k) {
+					continue
+				}
+				nm := make([]bool, k.Arity)
+				for i := range nm {
+					nm[i] = true
+				}
+				for _, gl := range goal {
+					if gl.Atom.Key() != k {
+						continue
+					}
+					for i, t := range gl.Atom.Args {
+						if !t.Ground() {
+							nm[i] = false
+						}
 					}
 				}
-			}
-			if !maskEq(nm, mask) {
-				a.Adorn[k] = nm
-				changed = true
+				for _, o := range occs[k] {
+					hb := headBoundVars(o.r)
+					if sideways {
+						for j, bl := range o.r.Body {
+							if j == o.idx {
+								continue
+							}
+							for _, t := range bl.Atom.Args {
+								for _, v := range ast.TermVars(t, nil) {
+									if hb == nil {
+										hb = make(map[string]bool)
+									}
+									hb[v.Name] = true
+								}
+							}
+						}
+					}
+					for i, t := range o.r.Body[o.idx].Atom.Args {
+						if nm[i] && !argBound(t, hb) {
+							nm[i] = false
+						}
+					}
+				}
+				if !maskEq(nm, mask) {
+					adorn[k] = nm
+					changed = true
+				}
 			}
 		}
+		return adorn
 	}
+	a.Adorn = solve(false)
+
+	// Degradation diagnostic: predicates the real head-only SIP left fully
+	// free but the optimistic sideways bound would restrict. Everything the
+	// slice loses to the head-only limit is here; callers surface it (the
+	// relevance.sip.degraded counter, ordlog -v).
+	opt := solve(true)
+	for k, mask := range a.Adorn {
+		if pinnedFree(k) || anyBound(mask) || !anyBound(opt[k]) {
+			continue
+		}
+		a.Degraded = append(a.Degraded, k)
+	}
+	sort.Slice(a.Degraded, func(i, j int) bool {
+		if a.Degraded[i].Name != a.Degraded[j].Name {
+			return a.Degraded[i].Name < a.Degraded[j].Name
+		}
+		return a.Degraded[i].Arity < a.Degraded[j].Arity
+	})
+	countDegraded(len(a.Degraded))
 
 	// Seeds: one per goal literal over a restricted predicate. Bound
 	// positions are ground in every goal occurrence (the meet includes
@@ -425,6 +479,15 @@ func boundArgs(mask []bool, args []ast.Term) []ast.Term {
 		}
 	}
 	return out
+}
+
+func anyBound(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
 }
 
 func maskEq(a, b []bool) bool {

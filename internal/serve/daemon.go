@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/stable"
 	"repro/internal/transform"
+	"repro/internal/wal"
 )
 
 // Config configures a Daemon. The zero value serves: unbounded admission,
@@ -47,6 +50,20 @@ type Config struct {
 	// Engine is the construction config for every tenant's engine
 	// (shards, workers, enumeration budget, grounding options).
 	Engine core.Config
+
+	// DataDir, when non-empty, makes every tenant durable: each gets a
+	// write-ahead log under DataDir/<sanitized-name> (obs.SanitizeSegment,
+	// so arbitrary tenant names cannot escape the tree), loads reset the
+	// tenant's history, drops delete its directory, and RecoverTenants
+	// restores every surviving tenant at boot. Empty = memory-only.
+	DataDir string
+
+	// CheckpointEvery is the per-tenant WAL checkpoint cadence when
+	// DataDir is set (<= 0 = core.DefaultCheckpointEvery).
+	CheckpointEvery int
+
+	// Sync is the per-tenant WAL fsync policy when DataDir is set.
+	Sync wal.SyncPolicy
 }
 
 // Daemon is the multi-tenant serving state behind the HTTP handler. One
@@ -71,6 +88,81 @@ func New(cfg Config) *Daemon {
 // Registry exposes the tenant registry (for preloading tenants at startup
 // and for tests).
 func (d *Daemon) Registry() *core.Registry { return d.reg }
+
+// TenantConfig returns the engine construction config for one named
+// tenant: the daemon-wide Config.Engine, plus per-tenant durability under
+// DataDir when persistence is on. Startup preloading uses it so -load
+// tenants get the same WAL wiring as tenants loaded over the wire.
+func (d *Daemon) TenantConfig(name string) core.Config {
+	cfg := d.cfg.Engine
+	if d.cfg.DataDir == "" {
+		return cfg
+	}
+	every := d.cfg.CheckpointEvery
+	if every <= 0 {
+		every = core.DefaultCheckpointEvery
+	}
+	cfg.Durability = core.Durability{
+		Dir:             d.tenantDir(name),
+		Name:            name,
+		CheckpointEvery: every,
+		Sync:            d.cfg.Sync,
+	}
+	return cfg
+}
+
+// tenantDir maps a tenant name to its durability directory.
+func (d *Daemon) tenantDir(name string) string {
+	return filepath.Join(d.cfg.DataDir, obs.SanitizeSegment(name))
+}
+
+// RecoverTenants scans DataDir and rebuilds every tenant with WAL state
+// (core.Recover: checkpoint + suffix replay + chain verification),
+// publishing each under its recorded name. It returns the recovered
+// names, sorted by the directory scan. A daemon without DataDir recovers
+// nothing. Recovery is all-or-nothing per call: the first corrupt tenant
+// aborts with its error so an operator never silently serves a partial
+// fleet.
+func (d *Daemon) RecoverTenants(ctx context.Context) ([]string, error) {
+	if d.cfg.DataDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(d.cfg.DataDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(d.cfg.DataDir, e.Name())
+		if !wal.IsDurabilityDir(dir) {
+			continue
+		}
+		eng, err := core.Recover(ctx, dir, d.cfg.Engine,
+			core.WithCheckpointEvery(d.cfg.CheckpointEvery), core.WithSync(d.cfg.Sync))
+		if err != nil {
+			return names, fmt.Errorf("recover tenant dir %s: %w", dir, err)
+		}
+		name := eng.DurableName()
+		if _, _, err := d.reg.Attach(name, eng); err != nil {
+			_ = eng.Close()
+			return names, fmt.Errorf("recover tenant dir %s: %w", dir, err)
+		}
+		names = append(names, name)
+	}
+	mTenants.Set(int64(d.reg.Len()))
+	return names, nil
+}
+
+// Close flushes and closes every tenant's write-ahead log; the daemon
+// calls it after the HTTP drain so interval-sync appends reach disk
+// before exit.
+func (d *Daemon) Close() error { return d.reg.Close() }
 
 // Handler returns the daemon's HTTP handler: the /v1 tenant API, /healthz,
 // and /debug/metrics (the process-global obs registry as flat JSON).
@@ -174,32 +266,51 @@ func admit(ctx context.Context, w http.ResponseWriter, t *core.Tenant) (release 
 	return release, true
 }
 
-// pin resolves the snapshot a read runs against: ?version= re-reads a
-// retained version (410 when evicted, 404 when never published), absent
-// means the current tip.
+// pin resolves the snapshot a read runs against. ?version= re-reads a
+// retained version; ?as_of= time-travels through Tenant.AsOf, which falls
+// past the retention ring into the engine's update history and — on a
+// durable tenant — the WAL on disk. At most one of the two may be given;
+// absent both, reads see the current tip. Version sentinels map uniformly
+// for both parameters: ErrVersionEvicted → 410 Gone, ErrVersionUnknown →
+// 404 Not Found.
 func pin(w http.ResponseWriter, r *http.Request, t *core.Tenant) (*core.Snapshot, bool) {
-	s := r.URL.Query().Get("version")
+	vs := r.URL.Query().Get("version")
+	as := r.URL.Query().Get("as_of")
+	if vs != "" && as != "" {
+		failf(w, http.StatusBadRequest, "at most one of ?version= and ?as_of=")
+		return nil, false
+	}
+	param, s, resolve := "version", vs, t.At
+	if as != "" {
+		param, s, resolve = "as_of", as, t.AsOf
+	}
 	if s == "" {
 		return t.Current(), true
 	}
 	v, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
-		failf(w, http.StatusBadRequest, "bad version %q: %v", s, err)
+		failf(w, http.StatusBadRequest, "bad %s %q: %v", param, s, err)
 		return nil, false
 	}
-	snap, err := t.At(v)
-	switch {
-	case errors.Is(err, core.ErrVersionEvicted):
-		failf(w, http.StatusGone, "%v", err)
-		return nil, false
-	case errors.Is(err, core.ErrVersionUnknown):
-		failf(w, http.StatusNotFound, "%v", err)
-		return nil, false
-	case err != nil:
-		failf(w, http.StatusInternalServerError, "%v", err)
+	snap, err := resolve(v)
+	if err != nil {
+		failf(w, versionStatus(err), "%v", err)
 		return nil, false
 	}
 	return snap, true
+}
+
+// versionStatus maps the core version sentinels to their wire statuses:
+// the one place the ad-hoc per-handler mapping used to live.
+func versionStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrVersionEvicted):
+		return http.StatusGone
+	case errors.Is(err, core.ErrVersionUnknown):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // truncation marks a partial response: 206, the Ordlog-Truncated header
@@ -302,7 +413,7 @@ func (d *Daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	t, replaced, err := d.reg.Put(ctx, name, res.Program, d.cfg.Engine)
+	t, replaced, err := d.reg.Put(ctx, name, res.Program, d.TenantConfig(name))
 	if err != nil {
 		code := http.StatusBadRequest
 		if interrupt.IsInterrupted(err) {
@@ -326,6 +437,14 @@ func (d *Daemon) handleDrop(w http.ResponseWriter, r *http.Request) {
 	if !d.reg.Drop(name) {
 		failf(w, http.StatusNotFound, "unknown tenant %q", name)
 		return
+	}
+	if d.cfg.DataDir != "" {
+		// Drop means gone: without this, the next boot would resurrect the
+		// tenant from its WAL directory.
+		if err := os.RemoveAll(d.tenantDir(name)); err != nil {
+			failf(w, http.StatusInternalServerError, "tenant %q dropped but data dir not removed: %v", name, err)
+			return
+		}
 	}
 	mTenants.Set(int64(d.reg.Len()))
 	w.WriteHeader(http.StatusNoContent)

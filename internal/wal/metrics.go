@@ -1,0 +1,12 @@
+package wal
+
+import "repro/internal/obs"
+
+// Resolved once at init; obs counters are no-ops until obs.SetEnabled.
+var (
+	mAppends       = obs.Default().Counter("wal.appends")
+	mFsyncs        = obs.Default().Counter("wal.fsyncs")
+	mBytes         = obs.Default().Counter("wal.bytes")
+	mCheckpoints   = obs.Default().Counter("wal.checkpoints")
+	mChainVerifies = obs.Default().Counter("wal.chain.verifies")
+)

@@ -76,6 +76,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/stable"
 	"repro/internal/transform"
+	"repro/internal/wal"
 )
 
 // Cancellation sentinels. Every Engine method has a ...Ctx variant that
@@ -90,6 +91,15 @@ var (
 	// ErrEnumBudget reports that stable/assumption-free enumeration
 	// exceeded its leaf budget; partial models accompany it.
 	ErrEnumBudget = stable.ErrBudget
+	// ErrVersionUnknown reports a version never published (ahead of the
+	// tip); Engine.AsOf and Tenant.AsOf wrap it.
+	ErrVersionUnknown = core.ErrVersionUnknown
+	// ErrVersionEvicted reports a version that existed but is no longer
+	// reconstructible (no durability, or it predates every checkpoint).
+	ErrVersionEvicted = core.ErrVersionEvicted
+	// ErrWALCorrupt reports CRC, hash-chain, or checkpoint damage in a
+	// durability directory.
+	ErrWALCorrupt = wal.ErrCorrupt
 )
 
 // IsInterrupted reports whether err records a context interruption.
@@ -234,6 +244,46 @@ func WithTrace(w io.Writer) Option { return core.WithTrace(w) }
 // first-argument term id). Results are identical to the sequential
 // engine's; n <= 1 keeps evaluation sequential.
 func WithShards(n int) Option { return core.WithShards(n) }
+
+// SyncPolicy selects when the write-ahead log fsyncs: SyncAlways after
+// every append (an acknowledged update is on disk), SyncInterval on a
+// background cadence (bounded loss window, near-memory throughput).
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for WithSync.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+)
+
+// WithDurability returns an Option attaching a write-ahead log under dir:
+// every Update/Retract batch is appended (length-prefixed, CRC-guarded,
+// SHA-256 hash-chained) before its snapshot is published, and periodic
+// checkpoints bound recovery replay. Restore a directory with Recover.
+func WithDurability(dir string) Option { return core.WithDurability(dir) }
+
+// WithCheckpointEvery returns an Option setting the checkpoint cadence (a
+// snapshot of the effective program every n logged updates). Requires
+// WithDurability.
+func WithCheckpointEvery(n int) Option { return core.WithCheckpointEvery(n) }
+
+// WithSync returns an Option selecting the WAL fsync policy. Requires
+// WithDurability.
+func WithSync(p SyncPolicy) Option { return core.WithSync(p) }
+
+// WithDurableName returns an Option seeding the WAL hash chain with a
+// tenant name, isolating histories that share a filesystem. Requires
+// WithDurability.
+func WithDurableName(name string) Option { return core.WithDurableName(name) }
+
+// Recover rebuilds a durable engine from a directory written by an engine
+// constructed with WithDurability: load the newest checkpoint consistent
+// with the log, replay the WAL suffix through the ordinary update path,
+// and verify the hash chain end to end. See Engine.AsOf for time travel
+// over the recovered history.
+func Recover(ctx context.Context, dir string, cfg Config, opts ...Option) (*Engine, error) {
+	return core.Recover(ctx, dir, cfg, opts...)
+}
 
 // ParseFacts parses module-free clauses (typically a bulk fact base) and
 // returns them as literals suitable for Engine.Update. Every clause must
