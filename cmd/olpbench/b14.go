@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	ordlog "repro"
+	"repro/internal/obs"
+)
+
+// B14: sustained-churn survival. A durable engine configured the way a
+// long-lived tenant would be — segment rotation, checkpoint retention,
+// snapshot compaction — takes Zipf-skewed assert/retract churn at a fixed
+// target rate for the whole run, while a sampler records what must stay
+// flat if nothing leaks: process heap and RSS, the snapshot's dead set
+// and carried history, and the on-disk WAL footprint (bytes and segment
+// count). The steady-state incremental-vs-fallback-vs-compaction split
+// comes from the engine counters. A run whose second half grows over its
+// first half is the leak this experiment exists to catch.
+
+type b14Config struct {
+	dur             time.Duration
+	keys            int // churned key window (Zipf-skewed)
+	kb              int // stable kb facts under the policy
+	rate            int // target ops/sec (0 = flat out)
+	sample          time.Duration
+	rotateRecords   int
+	checkpointEvery int
+	keep            int
+	compactEvery    int
+}
+
+func b14Cfg() b14Config {
+	c := b14Config{
+		dur: 60 * time.Second, keys: 2000, kb: 400, rate: 300,
+		sample:        5 * time.Second,
+		rotateRecords: 1000, checkpointEvery: 500, keep: 3, compactEvery: 256,
+	}
+	if *quick {
+		c.dur, c.keys, c.kb, c.sample = 30*time.Second, 500, 200, 2*time.Second
+	}
+	return c
+}
+
+// b14Sample is one sampler observation during the churn run.
+type b14Sample struct {
+	at       time.Duration
+	ops      int64
+	version  uint64
+	heap     uint64 // bytes, HeapAlloc
+	rss      uint64 // bytes, VmRSS (0 where /proc is unavailable)
+	dead     int
+	logEvts  int
+	walBytes int64
+	segments int
+}
+
+// b14RSS reads the process resident set from /proc/self/status; 0 when
+// the platform has no procfs (the metric is then just omitted).
+func b14RSS() uint64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// b14WALFootprint sums the durability directory: total bytes across every
+// file and the number of log segments currently retained.
+func b14WALFootprint(dir string) (bytes int64, segments int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			bytes += info.Size()
+		}
+		if strings.HasSuffix(e.Name(), ".log") && strings.HasPrefix(e.Name(), "wal") {
+			segments++
+		}
+	}
+	return bytes, segments
+}
+
+// b14Run drives the churn loop and returns the samples plus the engine
+// counter deltas for the run. Every op toggles one Zipf-drawn key in the
+// exception component: live keys are retracted, dead keys asserted, so
+// each record is a genuine state change and hot keys flap constantly —
+// the workload that grows dead sets and histories without bound on an
+// engine that never compacts.
+func b14Run(c b14Config) ([]b14Sample, obs.Snap, float64) {
+	ctx := context.Background()
+	dir := must(os.MkdirTemp("", "olpbench-b14-*"))
+	defer os.RemoveAll(dir)
+	prog := must(ordlog.ParseProgram(b10Source(c.kb, nil)))
+	eng := must(ordlog.NewEngine(prog, ordlog.Config{CompactEvery: c.compactEvery},
+		ordlog.WithDurability(dir), ordlog.WithDurableName("b14"),
+		ordlog.WithSync(ordlog.SyncInterval),
+		ordlog.WithCheckpointEvery(c.checkpointEvery),
+		ordlog.WithRotateRecords(c.rotateRecords),
+		ordlog.WithKeepCheckpoints(c.keep)))
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(14))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(c.keys-1))
+	live := make([]bool, c.keys)
+	lits := make([]ordlog.Literal, c.keys)
+	for k := 0; k < c.keys; k++ {
+		lits[k] = must(ordlog.ParseLiteral(fmt.Sprintf("bad(k%d)", k)))
+	}
+
+	before := obs.Default().Snap()
+	var samples []b14Sample
+	var ops int64
+	period := time.Duration(0)
+	if c.rate > 0 {
+		period = time.Second / time.Duration(c.rate)
+	}
+	start := time.Now()
+	nextSample := c.sample
+	take := func(at time.Duration) {
+		// A forced GC pins the sample to live bytes: without it, heap
+		// readings land at arbitrary points of the GC cycle and the
+		// growth comparison measures collector phase, not leakage.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		snap := eng.Current()
+		walBytes, segs := b14WALFootprint(dir)
+		samples = append(samples, b14Sample{
+			at: at, ops: ops, version: snap.Version(),
+			heap: ms.HeapAlloc, rss: b14RSS(),
+			dead: snap.NumDeadRules(), logEvts: snap.NumLogEvents(),
+			walBytes: walBytes, segments: segs,
+		})
+	}
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= c.dur {
+			break
+		}
+		if elapsed >= nextSample {
+			take(elapsed)
+			nextSample += c.sample
+		}
+		k := int(zipf.Uint64())
+		var err error
+		if live[k] {
+			_, err = eng.Retract(ctx, "exc", []ordlog.Literal{lits[k]})
+		} else {
+			_, err = eng.Update(ctx, "exc", []ordlog.Literal{lits[k]})
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olpbench: B14 churn:", err)
+			os.Exit(1)
+		}
+		live[k] = !live[k]
+		ops++
+		// Fixed-rate pacing: sleep off any lead over the op schedule. A
+		// slow engine simply falls behind and the achieved rate says so.
+		if period > 0 {
+			if ahead := time.Duration(ops)*period - time.Since(start); ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	take(time.Since(start))
+	achieved := float64(ops) / time.Since(start).Seconds()
+	return samples, obs.Default().Snap().Diff(before), achieved
+}
+
+// b14Growth compares the tail of the run against an early-steady-state
+// baseline (the sample nearest one third in): percent growth of the
+// final value over the baseline. Start-up allocation is excluded by
+// construction; a leak shows up as sustained positive growth.
+func b14Growth(samples []b14Sample, field func(b14Sample) float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	base := field(samples[len(samples)/3])
+	final := field(samples[len(samples)-1])
+	if base <= 0 {
+		return 0
+	}
+	return (final - base) / base * 100
+}
+
+func b14Counters(d obs.Snap) (incr, reground, compacts int64) {
+	return d["core.updates.incremental"], d["core.updates.reground"], d["update.compact.runs"]
+}
+
+func b14() {
+	header("B14: sustained Zipf churn — heap/RSS, dead set, WAL footprint over time")
+	c := b14Cfg()
+	// The split counters below need the registry on even without -metrics.
+	obs.SetEnabled(true)
+	samples, deltas, achieved := b14Run(c)
+
+	fmt.Printf("%.0fs run, %d churned keys over %d kb facts, target %d ops/s (achieved %.0f)\n",
+		c.dur.Seconds(), c.keys, c.kb, c.rate, achieved)
+	w := tw()
+	fmt.Fprintln(w, "t\tops\tversion\theap MB\trss MB\tdead\tlog events\twal KB\tsegments")
+	for _, s := range samples {
+		fmt.Fprintf(w, "%.0fs\t%d\t%d\t%.1f\t%.1f\t%d\t%d\t%d\t%d\n",
+			s.at.Seconds(), s.ops, s.version, float64(s.heap)/(1<<20), float64(s.rss)/(1<<20),
+			s.dead, s.logEvts, s.walBytes>>10, s.segments)
+	}
+	w.Flush()
+	incr, reground, compacts := b14Counters(deltas)
+	fmt.Printf("updates: %d incremental, %d reground, %d compactions (incremental ratio %.2f)\n",
+		incr, reground, compacts, float64(incr)/float64(incr+reground))
+	fmt.Printf("growth past warm-up: heap %+.1f%%, rss %+.1f%%, wal bytes %+.1f%%\n",
+		b14Growth(samples, func(s b14Sample) float64 { return float64(s.heap) }),
+		b14Growth(samples, func(s b14Sample) float64 { return float64(s.rss) }),
+		b14Growth(samples, func(s b14Sample) float64 { return float64(s.walBytes) }))
+	fmt.Println("note: flat heap/RSS/WAL curves are the acceptance criterion — compaction")
+	fmt.Println("      bounds the dead set and carried history, retention prunes segments.")
+}
+
+// b14JSON renders the same run for -exp B14 -json: one summary record
+// whose metrics carry the final state and the growth percentages the CI
+// smoke asserts on.
+func b14JSON() []benchResult {
+	c := b14Cfg()
+	obs.SetEnabled(true)
+	samples, deltas, achieved := b14Run(c)
+	final := samples[len(samples)-1]
+	incr, reground, compacts := b14Counters(deltas)
+	perOp := int64(0)
+	if final.ops > 0 {
+		perOp = (time.Duration(c.dur).Nanoseconds()) / final.ops
+	}
+	return []benchResult{{
+		Name: fmt.Sprintf("B14Churn/rate=%d/keys=%d/dur=%.0fs", c.rate, c.keys, c.dur.Seconds()),
+		NsOp: perOp,
+		Metrics: map[string]int64{
+			"ops":                 final.ops,
+			"achieved_ops_s":      int64(achieved),
+			"version":             int64(final.version),
+			"heap_final_kb":       int64(final.heap >> 10),
+			"rss_final_kb":        int64(final.rss >> 10),
+			"dead_final":          int64(final.dead),
+			"log_events_final":    int64(final.logEvts),
+			"wal_bytes_final":     final.walBytes,
+			"wal_segments_final":  int64(final.segments),
+			"heap_growth_pct":     int64(b14Growth(samples, func(s b14Sample) float64 { return float64(s.heap) })),
+			"rss_growth_pct":      int64(b14Growth(samples, func(s b14Sample) float64 { return float64(s.rss) })),
+			"wal_growth_pct":      int64(b14Growth(samples, func(s b14Sample) float64 { return float64(s.walBytes) })),
+			"updates_incremental": incr,
+			"updates_reground":    reground,
+			"compact_runs":        compacts,
+		},
+	}}
+}

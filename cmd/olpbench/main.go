@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	olpbench [-exp all|figures|B1..B12|shards] [-quick] [-parallel]
+//	olpbench [-exp all|figures|B1..B14|shards] [-quick] [-parallel]
 //	         [-workers n] [-shards list] [-timeout d] [-json] [-metrics]
 //
 // -json runs a fixed set of B1–B5, B7 and B10 measurements and emits a
@@ -75,7 +75,7 @@ var (
 	metrics  = flag.Bool("metrics", false, "keep engine counters enabled and append their per-op deltas to -json records")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	shardsF  = flag.String("shards", "", "comma-separated shard counts for the sharded grounding/fixpoint sweep (e.g. 1,2,4,8)")
-	exp      = flag.String("exp", "all", "experiment id: all | figures | B1..B12 | shards")
+	exp      = flag.String("exp", "all", "experiment id: all | figures | B1..B14 | shards (B14 only runs when named)")
 )
 
 // shardList parses -shards; the sweep defaults to 1,2,4,8 when the flag is
@@ -140,6 +140,11 @@ func main() {
 	run("B10", b10)
 	run("B12", b12)
 	run("B13", b13)
+	// B14 runs for 30–60 wall seconds by design, so it is opt-in by name
+	// rather than part of -exp all.
+	if strings.EqualFold(*exp, "B14") {
+		b14()
+	}
 	// The sharded sweep is opt-in under -exp all: it re-measures B3/B1
 	// workloads per shard count, so only run it when asked for by name or
 	// by an explicit -shards list.
@@ -276,6 +281,12 @@ func benchJSON() {
 	// the shape BENCH_9.json and the CI bench-smoke artifact use.
 	if strings.EqualFold(*exp, "B13") {
 		emitJSON(b13JSON())
+		return
+	}
+	// -exp B14 -json emits the sustained-churn survival record — the
+	// shape BENCH_10.json and the CI bench-smoke artifact use.
+	if strings.EqualFold(*exp, "B14") {
+		emitJSON(b14JSON())
 		return
 	}
 

@@ -19,6 +19,13 @@
 //	-tenant-skew s     Zipf skew across tenants (0 = uniform, default 0.99)
 //	-goal-skew s       Zipf skew across query goals (default 0.99)
 //	-chain n           constants in each tenant's path chain (default 24)
+//	-churn             write ops toggle facts in a bounded key window
+//	                   (assert when absent, retract when present) instead
+//	                   of asserting globally fresh facts — the sustained
+//	                   assert/retract workload behind olpbench -exp B14,
+//	                   driven over the wire against a live daemon
+//	-churn-keys n      size of the per-tenant churned key window, picked
+//	                   Zipf-skewed so hot keys flap constantly (default 256)
 //	-op-timeout d      per-request ?timeout= and client budget (default 2s)
 //	-connect-wait d    how long to retry /healthz before giving up (default 10s)
 //	-seed n            RNG seed (default 1)
@@ -61,6 +68,8 @@ type opts struct {
 	tenantSkew  float64
 	goalSkew    float64
 	chain       int
+	churn       bool
+	churnKeys   int
 	opTimeout   time.Duration
 	connectWait time.Duration
 	seed        int64
@@ -98,6 +107,8 @@ func main() {
 	flag.Float64Var(&o.tenantSkew, "tenant-skew", 0.99, "Zipf skew across tenants (0 = uniform)")
 	flag.Float64Var(&o.goalSkew, "goal-skew", 0.99, "Zipf skew across query goals")
 	flag.IntVar(&o.chain, "chain", 24, "constants in each tenant's path chain")
+	flag.BoolVar(&o.churn, "churn", false, "write ops toggle a bounded key window (assert/retract churn)")
+	flag.IntVar(&o.churnKeys, "churn-keys", 256, "per-tenant churned key window for -churn")
 	flag.DurationVar(&o.opTimeout, "op-timeout", 2*time.Second, "per-request deadline")
 	flag.DurationVar(&o.connectWait, "connect-wait", 10*time.Second, "how long to retry /healthz")
 	flag.Int64Var(&o.seed, "seed", 1, "RNG seed")
@@ -106,6 +117,10 @@ func main() {
 	flag.Parse()
 	if o.tenants <= 0 || o.conns <= 0 || o.chain < 2 || o.writeRatio < 0 || o.writeRatio > 1 {
 		fmt.Fprintln(os.Stderr, "olpload: bad flags (need tenants/conns > 0, chain >= 2, write-ratio in [0,1])")
+		os.Exit(2)
+	}
+	if o.churn && o.churnKeys <= 0 {
+		fmt.Fprintln(os.Stderr, "olpload: -churn needs -churn-keys > 0")
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
@@ -127,7 +142,11 @@ func run(o opts) error {
 		writeSeq atomic.Int64 // globally fresh write facts, so every write bumps a version
 		wg       sync.WaitGroup
 		tallies  = make([]*tally, o.conns)
+		churn    *churnState
 	)
+	if o.churn {
+		churn = newChurnState(o.tenants, o.churnKeys)
+	}
 	deadline := time.Now().Add(o.duration)
 	start := time.Now()
 
@@ -159,7 +178,7 @@ func run(o opts) error {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(openLoopSeed(o.seed, s, seq)))
 				t := &tally{}
-				oneOp(client, o, rng, &writeSeq, t, scheduled)
+				oneOp(client, o, rng, &writeSeq, churn, t, scheduled)
 				mu.Lock()
 				tallies[s].merge(t)
 				mu.Unlock()
@@ -176,7 +195,7 @@ func run(o opts) error {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(o.seed + int64(c)))
 				for time.Now().Before(deadline) {
-					oneOp(client, o, rng, &writeSeq, t, time.Now())
+					oneOp(client, o, rng, &writeSeq, churn, t, time.Now())
 				}
 			}(c, t)
 		}
@@ -271,24 +290,52 @@ func openLoopSeed(seed int64, slot int, seq int64) int64 {
 	return seed + int64(slot)*7919 + seq*104729
 }
 
+// churnState holds the per-(tenant, key) toggle counters for -churn. An
+// atomic fetch-add decides each write's direction — odd count asserts,
+// even retracts — so concurrent workers alternate per key without
+// coordination. Two racing workers can retract an absent fact; the
+// daemon treats that as a no-op write, which is fine for load.
+type churnState struct {
+	keys    int
+	toggles []atomic.Int64
+}
+
+func newChurnState(tenants, keys int) *churnState {
+	return &churnState{keys: keys, toggles: make([]atomic.Int64, tenants*keys)}
+}
+
+// direction picks assert vs retract for one write against (tenant, key).
+func (c *churnState) direction(tenant, key int) (retract bool) {
+	return c.toggles[tenant*c.keys+key].Add(1)%2 == 0
+}
+
 // opKind is the deterministic part of one generated operation: which
-// tenant, write or read, and (for reads) which goal. Everything the RNG
-// decides lives here so determinism is testable without a daemon.
+// tenant, write or read, and (for reads) which goal or (for -churn
+// writes) which key. Everything the RNG decides lives here so
+// determinism is testable without a daemon.
 type opKind struct {
-	tenant string
-	write  bool
-	goal   string
+	tenant    string
+	tenantIdx int
+	write     bool
+	goal      string
+	churnKey  int
 }
 
 // nextOp draws one operation from the RNG: tenant picked by Zipf, then a
 // write or a read with the goal picked by Zipf (heaviest goal most
-// popular).
+// popular). Under -churn, writes also draw their target key Zipf-skewed
+// over the bounded window, so the hottest keys flap the fastest.
 func nextOp(rng *rand.Rand, o opts) opKind {
 	tz := workload.NewZipf(rng, o.tenantSkew, o.tenants)
 	gz := workload.NewZipf(rng, o.goalSkew, o.chain-1)
-	k := opKind{tenant: tenantName(tz.Next())}
+	ti := tz.Next()
+	k := opKind{tenant: tenantName(ti), tenantIdx: ti}
 	if rng.Float64() < o.writeRatio {
 		k.write = true
+		if o.churn {
+			kz := workload.NewZipf(rng, o.goalSkew, o.churnKeys)
+			k.churnKey = kz.Next()
+		}
 		return k
 	}
 	k.goal = fmt.Sprintf("path(c%d,X)", gz.Next())
@@ -296,8 +343,10 @@ func nextOp(rng *rand.Rand, o opts) opKind {
 }
 
 // oneOp issues one operation drawn from the RNG (see nextOp). Latency is
-// measured from `scheduled`.
-func oneOp(client *http.Client, o opts, rng *rand.Rand, writeSeq *atomic.Int64, t *tally, scheduled time.Time) {
+// measured from `scheduled`. Under -churn, writes toggle their drawn key
+// between assert and retract; otherwise each write asserts a globally
+// fresh fact.
+func oneOp(client *http.Client, o opts, rng *rand.Rand, writeSeq *atomic.Int64, churn *churnState, t *tally, scheduled time.Time) {
 	k := nextOp(rng, o)
 	var (
 		resp *http.Response
@@ -307,9 +356,16 @@ func oneOp(client *http.Client, o opts, rng *rand.Rand, writeSeq *atomic.Int64, 
 	if k.write {
 		hist = &t.write
 		t.writes++
+		verb := "update"
 		fact := fmt.Sprintf(`{"component":"main","facts":"mark(w%d)."}`, writeSeq.Add(1))
+		if churn != nil {
+			fact = fmt.Sprintf(`{"component":"main","facts":"mark(k%d)."}`, k.churnKey)
+			if churn.direction(k.tenantIdx, k.churnKey) {
+				verb = "retract"
+			}
+		}
 		resp, err = client.Post(
-			o.addr+"/v1/tenants/"+k.tenant+"/update?timeout="+o.opTimeout.String(),
+			o.addr+"/v1/tenants/"+k.tenant+"/"+verb+"?timeout="+o.opTimeout.String(),
 			"application/json", bytes.NewReader([]byte(fact)))
 	} else {
 		hist = &t.read
@@ -373,6 +429,8 @@ func record(o opts, t *tally, elapsed time.Duration) map[string]any {
 		"tenant_skew": o.tenantSkew,
 		"goal_skew":   o.goalSkew,
 		"chain":       o.chain,
+		"churn":       o.churn,
+		"churn_keys":  o.churnKeys,
 		"seed":        o.seed,
 		"gomaxprocs":  runtime.GOMAXPROCS(0),
 		"ops":         ops,

@@ -43,8 +43,8 @@ func runWAL(args []string) int {
 				return 1
 			}
 		}
-		fmt.Printf("ok: tenant %q, %d records, %d checkpoints, version %d, chain head %.12s…\n",
-			res.Name, res.Records, res.Checkpoints, res.Version, res.Head)
+		fmt.Printf("ok: tenant %q, %d records in %d segments (first seq %d), %d checkpoints, version %d, chain head %.12s…\n",
+			res.Name, res.Records, res.Segments, res.FirstSeq, res.Checkpoints, res.Version, res.Head)
 		return 0
 	case "dump":
 		cps, err := wal.Checkpoints(dir)
@@ -62,10 +62,17 @@ func runWAL(args []string) int {
 		}
 		// Tolerant decode: a dump of a crashed directory should show the
 		// surviving records, flagging the torn tail instead of refusing.
-		res, err := wal.ReadLog(dir, wal.Genesis(cps[0].Name), false)
+		// ReadAll walks every segment in order, so rotated layouts dump
+		// the same way a single wal.log does.
+		res, err := wal.ReadAll(dir, wal.Genesis(cps[0].Name), false)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ordlog: wal dump:", err)
 			return 1
+		}
+		if res.First > 1 {
+			fmt.Printf("retained chain starts at seq %d (%d segments; earlier records pruned by retention)\n", res.First, res.Segments)
+		} else if res.Segments > 1 {
+			fmt.Printf("%d segments\n", res.Segments)
 		}
 		for _, r := range res.Records {
 			fmt.Printf("record %-6d v%-6d %-7s comp=%-12q facts=%-3d hash=%.12s…\n",
@@ -75,7 +82,7 @@ func runWAL(args []string) int {
 			}
 		}
 		if res.Torn {
-			fmt.Printf("torn tail after %d intact records (crash artifact; recovery truncates at byte %d)\n", len(res.Records), res.Good)
+			fmt.Printf("torn tail after %d intact records (crash artifact; recovery truncates %s at byte %d)\n", len(res.Records), res.TornPath, res.TornGood)
 		}
 		return 0
 	default:

@@ -33,6 +33,15 @@
 //	                   flush) or always (fsync per update)
 //	-checkpoint-every n  WAL checkpoint cadence in update batches
 //	                   (default 256)
+//	-rotate-records n  rotate each tenant's WAL to a fresh segment every n
+//	                   records (0 = single-file layout)
+//	-rotate-bytes n    rotate by segment size in bytes (0 = never)
+//	-keep-checkpoints n  retain only the newest n checkpoints per tenant and
+//	                   prune the WAL segments they cover (0 = keep all)
+//	-compact-every n   compact each tenant's snapshot every n incremental
+//	                   updates (0 = never by count)
+//	-compact-ratio r   compact when the dead-instance fraction reaches r
+//	                   (0 = never by ratio)
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
 // in-flight requests get up to -grace to finish, the write-ahead logs are
@@ -83,6 +92,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability root: per-tenant write-ahead logs + crash recovery ('' = memory-only)")
 	syncFlag := flag.String("sync", "interval", "WAL fsync policy: always or interval")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "WAL checkpoint cadence in update batches (0 = default 256)")
+	rotateRecords := flag.Int("rotate-records", 0, "WAL segment rotation cap in records (0 = single file)")
+	rotateBytes := flag.Int64("rotate-bytes", 0, "WAL segment rotation cap in bytes (0 = never)")
+	keepCheckpoints := flag.Int("keep-checkpoints", 0, "checkpoints retained per tenant, pruning covered WAL segments (0 = keep all)")
+	compactEvery := flag.Int("compact-every", 0, "snapshot compaction cadence in incremental updates (0 = never by count)")
+	compactRatio := flag.Float64("compact-ratio", 0, "snapshot compaction dead-instance ratio threshold (0 = never by ratio)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload tenant from file: name=path (repeatable)")
 	flag.Parse()
@@ -97,7 +111,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	engCfg := core.Config{Shards: *shards, GoalDirected: *goalDirected}
+	engCfg := core.Config{Shards: *shards, GoalDirected: *goalDirected, CompactEvery: *compactEvery, CompactRatio: *compactRatio}
 	d := serve.New(serve.Config{
 		InFlight:        *inflight,
 		Retain:          *retain,
@@ -107,6 +121,9 @@ func main() {
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
 		Sync:            syncPolicy,
+		RotateRecords:   *rotateRecords,
+		RotateBytes:     *rotateBytes,
+		KeepCheckpoints: *keepCheckpoints,
 	})
 	recovered := map[string]bool{}
 	if names, err := d.RecoverTenants(context.Background()); err != nil {

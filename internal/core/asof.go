@@ -49,12 +49,15 @@ func (e *Engine) AsOfCtx(ctx context.Context, version uint64) (*Snapshot, error)
 	var snap *Snapshot
 	var err error
 	switch {
-	case version >= e.base:
+	case version >= e.memBase.Load():
+		// The floor starts at the engine's base and rises with every
+		// compaction: a collapsed history only reconstructs versions at or
+		// after the compact point, older ones must come from the WAL.
 		snap, err = e.asOfFromMemory(ctx, cur, version)
 	case e.dur != nil:
 		snap, err = e.asOfFromDisk(ctx, version)
 	default:
-		return nil, fmt.Errorf("%w: v%d predates this engine's history (no durability configured)", ErrVersionEvicted, version)
+		return nil, fmt.Errorf("%w: v%d predates the reconstructible history (no durability configured)", ErrVersionEvicted, version)
 	}
 	if err != nil {
 		return nil, err
@@ -76,11 +79,13 @@ func (e *Engine) asOfFromMemory(ctx context.Context, cur *Snapshot, version uint
 	return e.materializeAsOf(ctx, e.src, events, version)
 }
 
-// asOfFromDisk rebuilds a version older than the engine's base from the
-// WAL: newest on-disk checkpoint at or before it, plus the log records up
-// to it. Only durable engines get here; a version below the oldest
-// checkpoint is gone (checkpoints before the genesis one were never
-// written) and reports ErrVersionEvicted.
+// asOfFromDisk rebuilds a version older than the engine's in-memory
+// floor from the WAL: newest on-disk checkpoint at or before it, plus
+// the log records up to it. Only durable engines get here. Two eviction
+// shapes exist: a version below the oldest checkpoint was never
+// reconstructible, and a version whose covering checkpoint survives but
+// whose replay records were pruned with their segments is gone too —
+// both report ErrVersionEvicted rather than replaying a partial suffix.
 func (e *Engine) asOfFromDisk(ctx context.Context, version uint64) (*Snapshot, error) {
 	d := e.dur
 	cps, err := wal.Checkpoints(d.dir)
@@ -96,16 +101,23 @@ func (e *Engine) asOfFromDisk(ctx context.Context, version uint64) (*Snapshot, e
 	if cp == nil {
 		return nil, fmt.Errorf("%w: v%d predates the oldest checkpoint", ErrVersionEvicted, version)
 	}
-	res, err := wal.ReadLog(d.dir, wal.Genesis(d.name), false)
+	res, err := wal.ReadAll(d.dir, wal.Genesis(d.name), false)
 	if err != nil {
 		return nil, fmt.Errorf("core: as-of v%d: %w", version, err)
+	}
+	if cp.Seq+1 < res.First {
+		// Retention pruned the records between the checkpoint and the
+		// surviving chain; replaying only the survivors would silently
+		// skip updates. (Checkpoint pruning keeps every retained
+		// checkpoint at or above the horizon, so this guards stray files.)
+		return nil, fmt.Errorf("%w: v%d needs log records pruned by retention", ErrVersionEvicted, version)
 	}
 	prog, err := parser.ParseProgram(cp.Program)
 	if err != nil {
 		return nil, fmt.Errorf("%w: as-of v%d: checkpoint program: %v", wal.ErrCorrupt, version, err)
 	}
 	var events []factEvent
-	for _, rec := range res.Records[cp.Seq:] {
+	for _, rec := range res.Records[cp.Seq-(res.First-1):] {
 		if rec.Version > version {
 			break
 		}

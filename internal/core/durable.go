@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"repro/internal/ast"
@@ -27,8 +26,14 @@ type durable struct {
 	dir     string
 	name    string
 	every   int
+	keep    int // checkpoint retention bound (0 = keep all, no pruning)
 	log     *wal.Log
 	sinceCP int // appends since the last checkpoint
+}
+
+// logOptions maps the Durability config onto the wal append options.
+func logOptions(d Durability) wal.LogOptions {
+	return wal.LogOptions{Policy: d.Sync, RotateRecords: d.RotateRecords, RotateBytes: d.RotateBytes}
 }
 
 // initDurability starts a fresh durable history for a newly constructed
@@ -54,11 +59,11 @@ func (e *Engine) initDurability() error {
 	if err := wal.WriteCheckpoint(d.Dir, cp); err != nil {
 		return fail(err)
 	}
-	log, err := wal.OpenLog(d.Dir, genesis, 0, d.Sync)
+	log, err := wal.OpenLogWith(d.Dir, genesis, 0, logOptions(d))
 	if err != nil {
 		return fail(err)
 	}
-	e.dur = &durable{dir: d.Dir, name: d.Name, every: d.CheckpointEvery, log: log}
+	e.dur = &durable{dir: d.Dir, name: d.Name, every: d.CheckpointEvery, keep: d.KeepCheckpoints, log: log}
 	return nil
 }
 
@@ -131,6 +136,19 @@ func (e *Engine) walCheckpoint(child *Snapshot) error {
 		return err
 	}
 	d.sinceCP = 0
+	// Retention: drop checkpoints past the bound, then every segment the
+	// oldest surviving checkpoint covers. Ordered this way a crash between
+	// the two passes leaves extra segments, never a chain without its
+	// anchor; pruning nothing when keep is 0 is the legacy layout.
+	if d.keep > 0 {
+		_, oldest, err := wal.PruneCheckpoints(d.dir, d.keep)
+		if err != nil {
+			return err
+		}
+		if _, err := wal.PruneSegments(d.dir, oldest); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -177,28 +195,51 @@ func Recover(ctx context.Context, dir string, cfg Config, opts ...Option) (*Engi
 		return nil, err
 	}
 	genesis := wal.Genesis(name)
-	res, err := wal.ReadLog(dir, genesis, false)
+	res, err := wal.ReadAll(dir, genesis, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: recover %s: %w", dir, err)
 	}
 	if res.Torn {
-		if err := os.Truncate(filepath.Join(dir, wal.LogName), res.Good); err != nil {
+		if err := os.Truncate(res.TornPath, res.TornGood); err != nil {
 			return nil, fmt.Errorf("core: recover %s: truncate torn tail: %w", dir, err)
 		}
 	}
+	// The chain may start past seq 1 when retention pruned covered
+	// segments; seq positions are relative to res.First, and the hash at
+	// the pruned boundary is adopted from the first surviving record
+	// (authenticated below by requiring a checkpoint that matches it).
+	first := res.First
+	lastSeq := first - 1 + uint64(len(res.Records))
+	anchor := ""
+	switch {
+	case first == 1:
+		anchor = genesis
+	case len(res.Records) > 0:
+		anchor = res.Records[0].Prev
+	}
 	hashAt := func(seq uint64) string {
-		if seq == 0 {
-			return genesis
+		if seq == first-1 {
+			return anchor
 		}
-		return res.Records[seq-1].Hash
+		return res.Records[seq-first].Hash
 	}
 	// Newest checkpoint consistent with the surviving log. A checkpoint can
 	// outrun the log when the crash lost unsynced records written after it
 	// was taken; falling back to an earlier one re-replays them from the
-	// log... which lost them too, so state and log agree again.
+	// log... which lost them too, so state and log agree again. A
+	// checkpoint below the pruned horizon is unusable either way: the
+	// records it would replay are gone.
 	var cp *wal.Checkpoint
 	consistent := func(c *wal.Checkpoint) bool {
-		return c.Seq <= uint64(len(res.Records)) && c.ChainHead == hashAt(c.Seq)
+		if c.Seq < first-1 || c.Seq > lastSeq {
+			return false
+		}
+		if anchor == "" && c.Seq == first-1 {
+			// Everything but an empty final segment was pruned: the
+			// checkpoint's own head is the only witness of the chain state.
+			return true
+		}
+		return c.ChainHead == hashAt(c.Seq)
 	}
 	for i := len(cps) - 1; i >= 0; i-- {
 		if consistent(&cps[i]) {
@@ -229,8 +270,10 @@ func Recover(ctx context.Context, dir string, cfg Config, opts ...Option) (*Engi
 		return nil, fmt.Errorf("core: recover %s: reground checkpoint v%d: %w", dir, cp.Version, err)
 	}
 	// Replay the suffix with e.dur still nil: the records are already on
-	// disk, the replaying updates must not re-log them.
-	suffix := res.Records[cp.Seq:]
+	// disk, the replaying updates must not re-log them. Indexing is
+	// relative to the pruned horizon — cp.Seq records precede the
+	// checkpoint, of which first-1 are no longer on disk.
+	suffix := res.Records[cp.Seq-(first-1):]
 	for _, rec := range suffix {
 		facts := make([]ast.Literal, len(rec.Facts))
 		for i, fs := range rec.Facts {
@@ -256,11 +299,15 @@ func Recover(ctx context.Context, dir string, cfg Config, opts ...Option) (*Engi
 			return nil, fmt.Errorf("%w: recover %s: replay diverged at record %d (reached v%d, log says v%d)", wal.ErrCorrupt, dir, rec.Seq, snap.Version(), rec.Version)
 		}
 	}
-	log, err := wal.OpenLog(dir, hashAt(uint64(len(res.Records))), uint64(len(res.Records)), cfg.Durability.Sync)
+	head := hashAt(lastSeq)
+	if head == "" {
+		head = cp.ChainHead
+	}
+	log, err := wal.OpenLogWith(dir, head, lastSeq, logOptions(cfg.Durability))
 	if err != nil {
 		return nil, fmt.Errorf("core: recover %s: reopen log: %w", dir, err)
 	}
-	e.dur = &durable{dir: dir, name: name, every: cfg.Durability.CheckpointEvery, log: log, sinceCP: len(suffix)}
+	e.dur = &durable{dir: dir, name: name, every: cfg.Durability.CheckpointEvery, keep: cfg.Durability.KeepCheckpoints, log: log, sinceCP: len(suffix)}
 	if obs.On() {
 		mRecoverRecords.Add(int64(len(suffix)))
 		mRecoverMs.Add(time.Since(start).Milliseconds())

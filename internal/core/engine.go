@@ -61,6 +61,17 @@ type Engine struct {
 	// AsOf reads below it go through the WAL on disk.
 	base uint64
 
+	// memBase is the oldest version the in-memory update history can
+	// still reconstruct: base at construction, advanced by compaction
+	// (which collapses the carried history to its net effect and thereby
+	// forgets the intermediate versions). Atomic because AsOf reads it
+	// without the write lock.
+	memBase atomic.Uint64
+
+	// sinceCompact counts incremental updates since the last full rebuild
+	// (compaction or reground fallback). Only touched under writeMu.
+	sinceCompact int
+
 	// dur is the write-ahead log state of a durable engine, nil for a
 	// memory-only one. Only touched under writeMu (updates) or at
 	// construction/Close.
@@ -120,6 +131,7 @@ func NewEngineCtx(ctx context.Context, p *ast.OrderedProgram, cfg Config, opts .
 // engines must touch neither.
 func newEngineAt(ctx context.Context, p *ast.OrderedProgram, cfg Config, base uint64) (*Engine, error) {
 	e := &Engine{src: p, cfg: cfg, base: base, trace: newTracer(cfg.Trace)}
+	e.memBase.Store(base)
 	gp, err := ground.GroundCtx(ctx, p, e.groundOpts())
 	if err != nil {
 		return nil, err

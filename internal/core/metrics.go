@@ -13,6 +13,14 @@ var (
 	mUpdatesReground = obs.Default().Counter("core.updates.reground")
 	mVersion         = obs.Default().Gauge("core.snapshot.version")
 
+	// Compaction family: runs counts compacting rebuilds (threshold-driven
+	// and explicit Engine.Compact alike), dead_dropped the retracted
+	// instances each run drained, events_collapsed the history entries
+	// each run folded away.
+	mCompactRuns      = obs.Default().Counter("update.compact.runs")
+	mCompactDead      = obs.Default().Counter("update.compact.dead_dropped")
+	mCompactCollapsed = obs.Default().Counter("update.compact.events_collapsed")
+
 	mViewBuilds = obs.Default().Counter("core.view.builds")
 	mViewHits   = obs.Default().Counter("core.view.hits")
 

@@ -62,6 +62,22 @@ type Config struct {
 	// with a fixed Ground.Goal.
 	GoalDirected bool
 
+	// CompactEvery, when > 0, compacts the snapshot after this many
+	// published updates since the last compaction: the writer path
+	// re-grounds the effective program into a fresh instance prefix with
+	// an empty dead set and a collapsed update history, and advances the
+	// floor below which AsOf reads go to the WAL instead of the in-memory
+	// history. Updates that fall back to a reground anyway compact in
+	// place when they cross the cadence — the collapse rides the rebuild
+	// for free. 0 never compacts by count. See DESIGN §14.
+	CompactEvery int
+
+	// CompactRatio, when > 0, compacts as soon as the fraction of dead
+	// (retracted-but-carried) rule instances in the snapshot's pinned
+	// prefix reaches the ratio — the trigger that bounds memory under
+	// sustained assert/retract churn. 0 never compacts by ratio.
+	CompactRatio float64
+
 	// Durability, when its Dir is non-empty, makes the engine durable: every
 	// Update/Retract batch is appended to a hash-chained write-ahead log in
 	// Dir before its snapshot is published, with periodic checkpoints so
@@ -105,6 +121,21 @@ type Durability struct {
 	// flush every wal.FlushInterval) or wal.SyncAlways (fsync inside
 	// every update).
 	Sync wal.SyncPolicy
+
+	// RotateRecords, when > 0, rotates the log to a fresh segment once
+	// the active one holds this many records; RotateBytes, when > 0,
+	// rotates by segment size (see wal.LogOptions). 0/0 keeps the legacy
+	// single-file layout.
+	RotateRecords int
+	RotateBytes   int64
+
+	// KeepCheckpoints, when > 0, bounds the on-disk footprint: after each
+	// checkpoint only the newest KeepCheckpoints checkpoint files are
+	// retained, and every log segment wholly covered by the oldest
+	// retained checkpoint is deleted. AsOf reads below the pruned horizon
+	// then fail with ErrVersionEvicted. 0 keeps everything (the legacy
+	// unbounded layout).
+	KeepCheckpoints int
 }
 
 // Option is a functional engine option applied on top of a Config by
@@ -154,6 +185,28 @@ func WithSync(p wal.SyncPolicy) Option { return func(c *Config) { c.Durability.S
 // WithDurableName sets Durability.Name, the hash-chain genesis seed.
 // Requires WithDurability.
 func WithDurableName(name string) Option { return func(c *Config) { c.Durability.Name = name } }
+
+// WithCompactEvery sets Config.CompactEvery: compact the snapshot after
+// this many published updates since the last compaction (0 = never by
+// count).
+func WithCompactEvery(n int) Option { return func(c *Config) { c.CompactEvery = n } }
+
+// WithCompactRatio sets Config.CompactRatio: compact once the dead
+// fraction of the pinned instance prefix reaches r (0 = never by ratio).
+func WithCompactRatio(r float64) Option { return func(c *Config) { c.CompactRatio = r } }
+
+// WithRotateRecords sets Durability.RotateRecords, the per-segment record
+// cap. Requires WithDurability.
+func WithRotateRecords(n int) Option { return func(c *Config) { c.Durability.RotateRecords = n } }
+
+// WithRotateBytes sets Durability.RotateBytes, the per-segment size cap.
+// Requires WithDurability.
+func WithRotateBytes(n int64) Option { return func(c *Config) { c.Durability.RotateBytes = n } }
+
+// WithKeepCheckpoints sets Durability.KeepCheckpoints, the checkpoint
+// retention bound driving segment pruning (0 = keep everything).
+// Requires WithDurability.
+func WithKeepCheckpoints(n int) Option { return func(c *Config) { c.Durability.KeepCheckpoints = n } }
 
 // ConfigError reports an invalid Config field. It is returned (wrapped in
 // nothing) by NewEngine, so callers can errors.As for it and inspect which
@@ -208,6 +261,12 @@ func (c *Config) Validate() error {
 			return &ConfigError{Field: "GoalDirected", Value: true, Reason: "incompatible with a fixed Ground.Goal (the engine slices per query)"}
 		}
 	}
+	if c.CompactEvery < 0 {
+		return &ConfigError{Field: "CompactEvery", Value: c.CompactEvery, Reason: "must be >= 0 (0 = never compact by count)"}
+	}
+	if c.CompactRatio < 0 || c.CompactRatio > 1 {
+		return &ConfigError{Field: "CompactRatio", Value: c.CompactRatio, Reason: "must be in [0, 1] (0 = never compact by ratio)"}
+	}
 	d := c.Durability
 	if d.Dir == "" {
 		if d.CheckpointEvery != 0 {
@@ -219,12 +278,30 @@ func (c *Config) Validate() error {
 		if d.Name != "" {
 			return &ConfigError{Field: "Durability.Name", Value: d.Name, Reason: "needs WithDurability (no durability directory configured)"}
 		}
+		if d.RotateRecords != 0 {
+			return &ConfigError{Field: "Durability.RotateRecords", Value: d.RotateRecords, Reason: "needs WithDurability (no durability directory configured)"}
+		}
+		if d.RotateBytes != 0 {
+			return &ConfigError{Field: "Durability.RotateBytes", Value: d.RotateBytes, Reason: "needs WithDurability (no durability directory configured)"}
+		}
+		if d.KeepCheckpoints != 0 {
+			return &ConfigError{Field: "Durability.KeepCheckpoints", Value: d.KeepCheckpoints, Reason: "needs WithDurability (no durability directory configured)"}
+		}
 	} else {
 		if d.CheckpointEvery < 1 {
 			return &ConfigError{Field: "Durability.CheckpointEvery", Value: d.CheckpointEvery, Reason: "must be >= 1 with durability on (WithDurability presets the default)"}
 		}
 		if d.Sync != wal.SyncInterval && d.Sync != wal.SyncAlways {
 			return &ConfigError{Field: "Durability.Sync", Value: d.Sync, Reason: "unknown sync policy (want wal.SyncInterval or wal.SyncAlways)"}
+		}
+		if d.RotateRecords < 0 {
+			return &ConfigError{Field: "Durability.RotateRecords", Value: d.RotateRecords, Reason: "must be >= 0 (0 = never rotate by count)"}
+		}
+		if d.RotateBytes < 0 {
+			return &ConfigError{Field: "Durability.RotateBytes", Value: d.RotateBytes, Reason: "must be >= 0 (0 = never rotate by size)"}
+		}
+		if d.KeepCheckpoints < 0 {
+			return &ConfigError{Field: "Durability.KeepCheckpoints", Value: d.KeepCheckpoints, Reason: "must be >= 0 (0 = keep all checkpoints)"}
 		}
 	}
 	return nil

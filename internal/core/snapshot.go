@@ -124,6 +124,16 @@ func (s *Snapshot) NumGroundRules() int { return len(s.rules) - len(s.dead) }
 // NumAtoms returns the size of the (relevant) Herbrand base.
 func (s *Snapshot) NumAtoms() int { return s.gp.Tab.Len() }
 
+// NumDeadRules returns the number of retracted-but-carried rule
+// instances in this version's pinned prefix: the population compaction
+// exists to drain (it returns to 0 after every compact/reground).
+func (s *Snapshot) NumDeadRules() int { return len(s.dead) }
+
+// NumLogEvents returns the length of the carried update history —
+// bounded by the number of distinct facts ever touched once compaction
+// collapses it, by the total number of fact changes otherwise.
+func (s *Snapshot) NumLogEvents() int { return len(s.log) }
+
 // comp returns the shared per-component state, creating it on first use.
 func (s *Snapshot) comp(i int) *compState {
 	s.mu.Lock()
@@ -444,6 +454,17 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 	// inherent or tuning — carries its reason into the trace and counters.
 	child, err := e.applyIncremental(ctx, parent, ci, ops, retract, overlay, newLog)
 	if err == nil {
+		mode := "incremental"
+		compacted := false
+		if e.needsCompact(child) {
+			// Replace the incremental child with a compacted rebuild at the
+			// same version. A failed compaction (e.g. cancellation mid-
+			// reground) publishes the incremental child instead: the update
+			// itself succeeded, and the thresholds re-trigger next time.
+			if c, cerr := e.compactChild(ctx, child); cerr == nil {
+				child, mode, compacted = c, "compact", true
+			}
+		}
 		// Write-ahead: the batch reaches the log (fsynced per policy) before
 		// the snapshot becomes visible, so every observable version is
 		// recoverable. An append failure discards the unpublished child.
@@ -451,13 +472,18 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 			return nil, err
 		}
 		e.current.Store(child)
+		if compacted {
+			e.finishCompact(child.version)
+		} else {
+			e.sinceCompact++
+		}
 		if obs.On() {
 			mUpdates.Inc()
 			mUpdatesIncr.Inc()
 			mVersion.Set(int64(child.version))
 		}
 		if e.trace.Enabled() {
-			e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), "incremental", ""))
+			e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), mode, ""))
 		}
 		if err := e.walCheckpoint(child); err != nil {
 			return nil, fmt.Errorf("core: update v%d applied and logged, checkpoint failed: %w", child.version, err)
@@ -468,7 +494,17 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 		return nil, err
 	}
 	reason := ground.RegroundReason(err)
-	child, err = e.reground(ctx, parent, newLog, overlay)
+	// A fallback reground already rebuilds the prefix and drains the dead
+	// set, but it carries the full history forward — under churn that is
+	// the part that leaks. When the rebuild would cross the compaction
+	// cadence anyway, collapse the history as part of it: the compaction
+	// is free (the reground runs regardless) and the log stays bounded by
+	// distinct facts, not update count.
+	regroundLog, compacted := newLog, false
+	if e.cfg.CompactEvery > 0 && e.sinceCompact+1 >= e.cfg.CompactEvery {
+		regroundLog, compacted = collapseLog(newLog), true
+	}
+	child, err = e.reground(ctx, parent.version+1, regroundLog, overlay)
 	if err != nil {
 		return nil, err
 	}
@@ -476,13 +512,25 @@ func (e *Engine) update(ctx context.Context, comp string, facts []ast.Literal, r
 		return nil, err
 	}
 	e.current.Store(child)
+	mode := "reground"
+	if compacted {
+		mode = "compact"
+		e.finishCompact(child.version)
+		if obs.On() {
+			mCompactRuns.Inc()
+			mCompactDead.Add(int64(len(parent.dead)))
+			mCompactCollapsed.Add(int64(len(newLog) - len(regroundLog)))
+		}
+	} else {
+		e.sinceCompact++
+	}
 	if obs.On() {
 		mUpdates.Inc()
 		mVersion.Set(int64(child.version))
 	}
 	countFallback(reason)
 	if e.trace.Enabled() {
-		e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), "reground", reason))
+		e.trace.Emit(e.updateEvent(parent, child, ci, verb, len(ops), mode, reason))
 	}
 	if err := e.walCheckpoint(child); err != nil {
 		return nil, fmt.Errorf("core: update v%d applied and logged, checkpoint failed: %w", child.version, err)
@@ -572,8 +620,8 @@ func (e *Engine) applyIncremental(ctx context.Context, parent *Snapshot, ci int,
 
 // reground rebuilds the ground program from the effective source (original
 // program plus replayed update history) and wraps it in a fresh snapshot
-// with no carried-over state.
-func (e *Engine) reground(ctx context.Context, parent *Snapshot, newLog []factEvent, overlay map[factKey]bool) (*Snapshot, error) {
+// at the given version with no carried-over state.
+func (e *Engine) reground(ctx context.Context, version uint64, newLog []factEvent, overlay map[factKey]bool) (*Snapshot, error) {
 	eff, err := effectiveProgram(e.src, newLog)
 	if err != nil {
 		return nil, err
@@ -584,7 +632,7 @@ func (e *Engine) reground(ctx context.Context, parent *Snapshot, newLog []factEv
 	}
 	return &Snapshot{
 		eng:      e,
-		version:  parent.version + 1,
+		version:  version,
 		gp:       gp,
 		rules:    gp.Rules,
 		factLive: overlay,

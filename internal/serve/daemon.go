@@ -64,6 +64,18 @@ type Config struct {
 
 	// Sync is the per-tenant WAL fsync policy when DataDir is set.
 	Sync wal.SyncPolicy
+
+	// RotateRecords / RotateBytes are the per-tenant WAL segment rotation
+	// caps when DataDir is set (see core.Durability); 0/0 keeps each
+	// tenant's log in the legacy single file.
+	RotateRecords int
+	RotateBytes   int64
+
+	// KeepCheckpoints bounds each tenant's on-disk footprint when DataDir
+	// is set: only the newest KeepCheckpoints checkpoints survive each
+	// checkpoint write, and log segments they cover are pruned. 0 keeps
+	// everything.
+	KeepCheckpoints int
 }
 
 // Daemon is the multi-tenant serving state behind the HTTP handler. One
@@ -107,6 +119,9 @@ func (d *Daemon) TenantConfig(name string) core.Config {
 		Name:            name,
 		CheckpointEvery: every,
 		Sync:            d.cfg.Sync,
+		RotateRecords:   d.cfg.RotateRecords,
+		RotateBytes:     d.cfg.RotateBytes,
+		KeepCheckpoints: d.cfg.KeepCheckpoints,
 	}
 	return cfg
 }
@@ -144,7 +159,9 @@ func (d *Daemon) RecoverTenants(ctx context.Context) ([]string, error) {
 			continue
 		}
 		eng, err := core.Recover(ctx, dir, d.cfg.Engine,
-			core.WithCheckpointEvery(d.cfg.CheckpointEvery), core.WithSync(d.cfg.Sync))
+			core.WithCheckpointEvery(d.cfg.CheckpointEvery), core.WithSync(d.cfg.Sync),
+			core.WithRotateRecords(d.cfg.RotateRecords), core.WithRotateBytes(d.cfg.RotateBytes),
+			core.WithKeepCheckpoints(d.cfg.KeepCheckpoints))
 		if err != nil {
 			return names, fmt.Errorf("recover tenant dir %s: %w", dir, err)
 		}

@@ -9,4 +9,15 @@ var (
 	mBytes         = obs.Default().Counter("wal.bytes")
 	mCheckpoints   = obs.Default().Counter("wal.checkpoints")
 	mChainVerifies = obs.Default().Counter("wal.chain.verifies")
+	mRotations     = obs.Default().Counter("wal.rotations")
+	mSegsPruned    = obs.Default().Counter("wal.segments.pruned")
+	mCPsPruned     = obs.Default().Counter("wal.checkpoints.pruned")
+
+	// wal.errors family: every counted event is a durability-affecting
+	// failure that was also surfaced to the caller as an error — the
+	// counters exist so an operator can alert on them without scraping
+	// logs, not as a substitute for the error path.
+	mErrDirsync = obs.Default().Counter("wal.errors.dirsync")
+	mErrFlush   = obs.Default().Counter("wal.errors.flush")
+	mErrRotate  = obs.Default().Counter("wal.errors.rotate")
 )

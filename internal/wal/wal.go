@@ -5,8 +5,18 @@
 //
 // On-disk layout of one durability directory (one engine/tenant each):
 //
-//	wal.log                   framed records, append-only
+//	wal.log                   head segment (records from seq 1), append-only
+//	wal-<first-seq>.log       later segments, rotated off by size/count
 //	checkpoint-<version>.json serialized effective program + chain head
+//
+// The log is a chain of segments: the legacy single-file wal.log is the
+// segment holding records from seq 1, and every rotation finalises the
+// active segment (fsync) before opening wal-<next-seq>.log, so only the
+// final segment can ever carry a torn tail. The hash chain runs across
+// segment boundaries unchanged — the first record of each segment carries
+// the Prev of its predecessor's last record — and retention may delete
+// whole prefix segments once a checkpoint covers them, in which case the
+// surviving chain is anchored at that checkpoint's recorded head.
 //
 // Record framing is [4-byte big-endian payload length][4-byte IEEE CRC32
 // of the payload][JSON payload]. Each record carries the hash of its
@@ -42,6 +52,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -171,13 +182,24 @@ type DecodeResult struct {
 // reported as a torn tail instead (any damage with intact data after it
 // cannot be a crash artifact and stays hard corruption either way).
 func Decode(b []byte, genesis string, strict bool) (*DecodeResult, error) {
+	return decodeFrom(b, 1, genesis, strict)
+}
+
+// decodeFrom parses one segment image whose first record is expected at
+// sequence firstSeq. prev is the chain hash preceding that record —
+// Genesis(name) when firstSeq is 1, the previous segment's tip hash
+// otherwise. An empty prev means the predecessor segments were pruned by
+// retention: the first record's own Prev is adopted as the chain anchor,
+// and callers must authenticate it against a checkpoint.
+func decodeFrom(b []byte, firstSeq uint64, prev string, strict bool) (*DecodeResult, error) {
 	res := &DecodeResult{}
-	head := genesis
+	head := prev
 	var off int64
 	n := int64(len(b))
+	nextSeq := func() uint64 { return firstSeq + uint64(len(res.Records)) }
 	torn := func(what string) (*DecodeResult, error) {
 		if strict {
-			return nil, fmt.Errorf("%w: record %d at offset %d: %s", ErrCorrupt, len(res.Records)+1, off, what)
+			return nil, fmt.Errorf("%w: record %d at offset %d: %s", ErrCorrupt, nextSeq(), off, what)
 		}
 		res.Torn = true
 		return res, nil
@@ -195,7 +217,7 @@ func Decode(b []byte, genesis string, strict bool) (*DecodeResult, error) {
 			if off+frameHeader+plen > n || plen == 0 {
 				return torn(fmt.Sprintf("impossible payload length %d", plen))
 			}
-			return nil, fmt.Errorf("%w: record %d at offset %d: impossible payload length %d", ErrCorrupt, len(res.Records)+1, off, plen)
+			return nil, fmt.Errorf("%w: record %d at offset %d: impossible payload length %d", ErrCorrupt, nextSeq(), off, plen)
 		}
 		end := off + frameHeader + plen
 		if end > n {
@@ -208,16 +230,19 @@ func Decode(b []byte, genesis string, strict bool) (*DecodeResult, error) {
 				// write; tolerant mode truncates it, strict mode rejects.
 				return torn("payload CRC mismatch")
 			}
-			return nil, fmt.Errorf("%w: record %d at offset %d: payload CRC mismatch", ErrCorrupt, len(res.Records)+1, off)
+			return nil, fmt.Errorf("%w: record %d at offset %d: payload CRC mismatch", ErrCorrupt, nextSeq(), off)
 		}
 		var r Record
 		if err := json.Unmarshal(payload, &r); err != nil {
 			// Valid CRC but unparseable payload is a writer bug or
 			// deliberate tampering, never a crash artifact.
-			return nil, fmt.Errorf("%w: record %d at offset %d: %v", ErrCorrupt, len(res.Records)+1, off, err)
+			return nil, fmt.Errorf("%w: record %d at offset %d: %v", ErrCorrupt, nextSeq(), off, err)
 		}
-		if r.Seq != uint64(len(res.Records))+1 {
-			return nil, fmt.Errorf("%w: record at offset %d: seq %d, want %d", ErrCorrupt, off, r.Seq, len(res.Records)+1)
+		if r.Seq != nextSeq() {
+			return nil, fmt.Errorf("%w: record at offset %d: seq %d, want %d", ErrCorrupt, off, r.Seq, nextSeq())
+		}
+		if head == "" {
+			head = r.Prev
 		}
 		if r.Prev != head {
 			return nil, fmt.Errorf("%w: record %d: chain broken (prev %.12s, want %.12s)", ErrCorrupt, r.Seq, r.Prev, head)
@@ -247,33 +272,77 @@ func ReadLog(dir, genesis string, strict bool) (*DecodeResult, error) {
 	return Decode(b, genesis, strict)
 }
 
+// LogOptions configures the append side of one durability directory.
+type LogOptions struct {
+	// Policy is the fsync policy (see SyncPolicy).
+	Policy SyncPolicy
+
+	// RotateRecords, when > 0, finalises the active segment and opens a
+	// fresh one once the active segment holds this many records. 0 never
+	// rotates by count.
+	RotateRecords int
+
+	// RotateBytes, when > 0, rotates once the active segment's frames
+	// reach this many bytes. The cap is checked before an append, so a
+	// segment always holds at least one record and may overshoot by one
+	// frame. 0 never rotates by size.
+	RotateBytes int64
+}
+
 // Log is the append side of one durability directory. Appends are
 // serialised by an internal mutex; the engine additionally serialises
 // them under its write lock, but the background interval flusher needs
 // its own synchronisation either way.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	policy SyncPolicy
-	head   string
-	seq    uint64
-	dirty  bool
-	closed bool
+	mu       sync.Mutex
+	dir      string
+	opts     LogOptions
+	f        *os.File
+	head     string
+	seq      uint64
+	segFirst uint64 // seq of the active segment's first record
+	segBytes int64  // frame bytes in the active segment
+	dirty    bool
+	closed   bool
+	flushErr error // first background-flush failure; fail-stops the log
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// OpenLog opens (creating if absent) dir's log for appending. head and
-// seq are the chain state of the existing content — Genesis(name) and 0
-// for a fresh log, the tail of ReadLog's records after recovery.
+// OpenLog opens (creating if absent) dir's log for appending with no
+// rotation caps — the single-file layout. head and seq are the chain
+// state of the existing content — Genesis(name) and 0 for a fresh log,
+// the tail of ReadAll's records after recovery.
 func OpenLog(dir, head string, seq uint64, policy SyncPolicy) (*Log, error) {
-	f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenLogWith(dir, head, seq, LogOptions{Policy: policy})
+}
+
+// OpenLogWith opens dir's log for appending with explicit options.
+// Appends continue the last on-disk segment; a fresh directory starts at
+// the legacy single-file name wal.log (= the segment from seq 1), so a
+// log that never rotates keeps the old layout byte for byte.
+func OpenLogWith(dir, head string, seq uint64, opts LogOptions) (*Log, error) {
+	segs, err := ListSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{f: f, policy: policy, head: head, seq: seq}
-	if policy == SyncInterval {
+	path := filepath.Join(dir, LogName)
+	segFirst := uint64(1)
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		path, segFirst = last.Path, last.First
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	l := &Log{dir: dir, opts: opts, f: f, head: head, seq: seq, segFirst: segFirst, segBytes: size}
+	if opts.Policy == SyncInterval {
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
 		go l.flusher()
@@ -289,30 +358,95 @@ func (l *Log) flusher() {
 	for {
 		select {
 		case <-t.C:
-			l.mu.Lock()
-			if l.dirty && !l.closed {
-				if l.f.Sync() == nil {
-					l.dirty = false
-					mFsyncs.Inc()
-				}
-			}
-			l.mu.Unlock()
+			l.flushTick()
 		case <-l.stop:
 			return
 		}
 	}
 }
 
+// flushTick is one background flush pass. A failed fsync is latched into
+// flushErr and fail-stops the log: acked-but-unsynced records may be
+// lost, so pretending later appends are durable would be a lie — they
+// fail with the latched error instead, matching Append's own fail-stop
+// contract under SyncAlways.
+func (l *Log) flushTick() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty || l.closed || l.flushErr != nil {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.flushErr = fmt.Errorf("wal: background flush: %w", err)
+		mErrFlush.Inc()
+		return
+	}
+	l.dirty = false
+	mFsyncs.Inc()
+}
+
+// needRotate reports whether the active segment has reached a rotation
+// cap. Checked before an append and never for an empty segment, so every
+// segment holds at least one record even under a one-byte cap.
+func (l *Log) needRotate() bool {
+	if l.seq+1 == l.segFirst {
+		return false
+	}
+	if l.opts.RotateRecords > 0 && l.seq-(l.segFirst-1) >= uint64(l.opts.RotateRecords) {
+		return true
+	}
+	return l.opts.RotateBytes > 0 && l.segBytes >= l.opts.RotateBytes
+}
+
+// rotate finalises the active segment and opens wal-<next-seq>.log as
+// the new append target. The old segment is fsynced before its successor
+// exists — that ordering is what guarantees only the final segment of a
+// chain can ever carry a torn tail — and the directory entry is fsynced
+// so the new segment itself survives power loss.
+func (l *Log) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	mFsyncs.Inc()
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	first := l.seq + 1
+	f, err := os.OpenFile(SegmentPath(l.dir, first), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.segFirst, l.segBytes = f, first, 0
+	mRotations.Inc()
+	return nil
+}
+
 // Append writes one record continuing the chain and returns it. Under
 // SyncAlways the record is fsynced before Append returns — an
 // acknowledged update survives any crash. A write error poisons the log
 // (the file may hold a torn frame that later appends must not bury), so
-// every subsequent Append fails with ErrClosed.
+// every subsequent Append fails with ErrClosed; a background-flush
+// failure likewise fail-stops with the latched error.
 func (l *Log) Append(version uint64, op, comp string, facts []string) (Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return Record{}, ErrClosed
+	}
+	if l.flushErr != nil {
+		return Record{}, l.flushErr
+	}
+	if l.needRotate() {
+		if err := l.rotate(); err != nil {
+			l.closed = true
+			mErrRotate.Inc()
+			return Record{}, fmt.Errorf("wal: rotate segment at seq %d: %w", l.seq+1, err)
+		}
 	}
 	r := Record{Seq: l.seq + 1, Version: version, Op: op, Comp: comp, Facts: facts, Prev: l.head}
 	r.Hash = r.ChainHash()
@@ -324,7 +458,7 @@ func (l *Log) Append(version uint64, op, comp string, facts []string) (Record, e
 		l.closed = true
 		return Record{}, fmt.Errorf("wal: append record %d: %w", r.Seq, err)
 	}
-	if l.policy == SyncAlways {
+	if l.opts.Policy == SyncAlways {
 		if err := l.f.Sync(); err != nil {
 			l.closed = true
 			return Record{}, fmt.Errorf("wal: fsync record %d: %w", r.Seq, err)
@@ -334,15 +468,20 @@ func (l *Log) Append(version uint64, op, comp string, facts []string) (Record, e
 		l.dirty = true
 	}
 	l.seq, l.head = r.Seq, r.Hash
+	l.segBytes += int64(len(frame))
 	mAppends.Inc()
 	mBytes.Add(int64(len(frame)))
 	return r, nil
 }
 
-// Sync forces a flush of unsynced appends.
+// Sync forces a flush of unsynced appends. A latched background-flush
+// failure is returned — the unsynced window may already be lost.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.flushErr != nil {
+		return l.flushErr
+	}
 	if l.closed || !l.dirty {
 		return nil
 	}
@@ -363,7 +502,8 @@ func (l *Log) Head() (seq uint64, hash string) {
 }
 
 // Close flushes and closes the log. Idempotent; a closed log rejects
-// further appends with ErrClosed.
+// further appends with ErrClosed. A latched background-flush failure is
+// returned in place of a final flush.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -371,8 +511,8 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	var err error
-	if l.dirty {
+	err := l.flushErr
+	if err == nil && l.dirty {
 		err = l.f.Sync()
 	}
 	if cerr := l.f.Close(); err == nil {
@@ -442,18 +582,34 @@ func WriteCheckpoint(dir string, cp *Checkpoint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: publish checkpoint v%d: %w", cp.Version, err)
 	}
-	syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("wal: checkpoint v%d: %w", cp.Version, err)
+	}
 	mCheckpoints.Inc()
 	return nil
 }
 
-// syncDir fsyncs the directory so a rename survives power loss; best
-// effort (some filesystems reject directory fsync).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+// syncDir fsyncs the directory so created, renamed and removed entries
+// survive power loss. Filesystems that simply do not support directory
+// fsync (EINVAL/ENOTSUP) are treated as success; every real failure is
+// returned and counted under wal.errors.dirsync — a swallowed directory
+// fsync after a checkpoint publish or segment rotation would silently
+// forfeit the durability guarantee.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		mErrDirsync.Inc()
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
 	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil || errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	mErrDirsync.Inc()
+	return fmt.Errorf("wal: sync dir %s: %w", dir, err)
 }
 
 // Checkpoints reads every checkpoint in dir, sorted ascending by version.
@@ -497,7 +653,8 @@ func Reset(dir string) error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if name == LogName || strings.HasPrefix(name, "checkpoint-") {
+		_, isSeg := parseSegmentName(name)
+		if name == LogName || isSeg || strings.HasPrefix(name, "checkpoint-") {
 			if err := os.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
@@ -528,17 +685,22 @@ func IsDurabilityDir(dir string) bool {
 type VerifyResult struct {
 	Name        string
 	Records     int
+	Segments    int
+	FirstSeq    uint64 // seq of the first retained record (> 1 after retention pruning)
 	Checkpoints int
 	Version     uint64 // version at the chain tip (last record, or newest checkpoint)
 	Head        string // chain head hash
 }
 
 // VerifyDir strictly verifies a durability directory end to end: every
-// record's CRC and chain hash from the genesis seed (a single flipped
-// byte anywhere fails), plus every checkpoint's consistency with the
-// chain (its Seq within the log, its ChainHead equal to the hash at that
-// point, its Version equal to that record's). Program text is not parsed
-// here — cmd/ordlog's `wal verify` layers that on top.
+// record's CRC and chain hash across the whole segment chain (a single
+// flipped byte anywhere fails), plus every checkpoint's consistency with
+// the chain (its Seq within the retained range, its ChainHead equal to
+// the hash at that point, its Version equal to that record's). A chain
+// whose prefix was pruned by retention is anchored at a checkpoint whose
+// Seq is the pruned length and whose ChainHead the surviving records
+// extend; a pruned chain without such an anchor is corruption. Program
+// text is not parsed here — cmd/ordlog's `wal verify` layers that on top.
 func VerifyDir(dir string) (*VerifyResult, error) {
 	cps, err := Checkpoints(dir)
 	if err != nil {
@@ -554,28 +716,62 @@ func VerifyDir(dir string) (*VerifyResult, error) {
 		}
 	}
 	genesis := Genesis(name)
-	res, err := ReadLog(dir, genesis, true)
+	res, err := ReadAll(dir, genesis, true)
 	if err != nil {
 		return nil, err
 	}
-	hashAt := func(seq uint64) string {
-		if seq == 0 {
-			return genesis
-		}
-		return res.Records[seq-1].Hash
+	first := res.First
+	last := first - 1 + uint64(len(res.Records))
+	// anchor is the chain hash at seq first-1: the genesis for an intact
+	// chain, the adopted Prev of the first surviving record after pruning
+	// (authenticated below against a checkpoint), unknown when pruning
+	// left no records at all.
+	anchor := ""
+	switch {
+	case first == 1:
+		anchor = genesis
+	case len(res.Records) > 0:
+		anchor = res.Records[0].Prev
 	}
-	for _, cp := range cps {
-		if cp.Seq > uint64(len(res.Records)) {
-			return nil, fmt.Errorf("%w: checkpoint v%d claims %d records, log has %d", ErrCorrupt, cp.Version, cp.Seq, len(res.Records))
+	hashAt := func(seq uint64) (string, bool) {
+		switch {
+		case seq == first-1:
+			return anchor, anchor != ""
+		case seq >= first && seq <= last:
+			return res.Records[seq-first].Hash, true
 		}
-		if hashAt(cp.Seq) != cp.ChainHead {
+		return "", false
+	}
+	anchored := first == 1
+	for _, cp := range cps {
+		if cp.Seq < first-1 {
+			return nil, fmt.Errorf("%w: checkpoint v%d at seq %d predates the retained chain (first seq %d)", ErrCorrupt, cp.Version, cp.Seq, first)
+		}
+		if cp.Seq > last {
+			return nil, fmt.Errorf("%w: checkpoint v%d claims records through seq %d, log ends at %d", ErrCorrupt, cp.Version, cp.Seq, last)
+		}
+		if anchor == "" && cp.Seq == first-1 {
+			// No surviving records to adopt an anchor from: the
+			// checkpoint's recorded head is the only witness.
+			anchor = cp.ChainHead
+		}
+		h, ok := hashAt(cp.Seq)
+		if !ok || h != cp.ChainHead {
 			return nil, fmt.Errorf("%w: checkpoint v%d chain head mismatch at seq %d", ErrCorrupt, cp.Version, cp.Seq)
 		}
-		if cp.Seq > 0 && res.Records[cp.Seq-1].Version != cp.Version {
-			return nil, fmt.Errorf("%w: checkpoint v%d sits at record version %d", ErrCorrupt, cp.Version, res.Records[cp.Seq-1].Version)
+		if cp.Seq >= first && res.Records[cp.Seq-first].Version != cp.Version {
+			return nil, fmt.Errorf("%w: checkpoint v%d sits at record version %d", ErrCorrupt, cp.Version, res.Records[cp.Seq-first].Version)
 		}
+		// Any checkpoint whose ChainHead matches a hash in [first-1, last]
+		// authenticates the adopted anchor transitively: each record's
+		// hash covers its Prev, back to the anchor itself.
+		anchored = true
 	}
-	out := &VerifyResult{Name: name, Records: len(res.Records), Checkpoints: len(cps), Head: hashAt(uint64(len(res.Records))), Version: cps[len(cps)-1].Version}
+	if !anchored {
+		return nil, fmt.Errorf("%w: pruned chain starting at seq %d has no anchoring checkpoint", ErrCorrupt, first)
+	}
+	head, _ := hashAt(last)
+	out := &VerifyResult{Name: name, Records: len(res.Records), Segments: res.Segments, FirstSeq: first, Checkpoints: len(cps), Head: head, Version: cps[len(cps)-1].Version}
 	if len(res.Records) > 0 {
 		out.Version = res.Records[len(res.Records)-1].Version
 	}

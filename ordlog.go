@@ -276,6 +276,34 @@ func WithSync(p SyncPolicy) Option { return core.WithSync(p) }
 // WithDurability.
 func WithDurableName(name string) Option { return core.WithDurableName(name) }
 
+// WithRotateRecords returns an Option rotating the WAL to a fresh segment
+// every n records, bounding per-file size under sustained churn. Requires
+// WithDurability; 0 keeps the single-file layout.
+func WithRotateRecords(n int) Option { return core.WithRotateRecords(n) }
+
+// WithRotateBytes returns an Option rotating the WAL to a fresh segment
+// once the current one reaches n bytes. Requires WithDurability; 0 never
+// rotates by size.
+func WithRotateBytes(n int64) Option { return core.WithRotateBytes(n) }
+
+// WithKeepCheckpoints returns an Option retaining only the newest n
+// checkpoints and pruning WAL segments wholly covered by the survivors,
+// bounding the on-disk footprint. AsOf reads below the pruned horizon
+// report ErrVersionEvicted. Requires WithDurability; 0 keeps everything.
+func WithKeepCheckpoints(n int) Option { return core.WithKeepCheckpoints(n) }
+
+// WithCompactEvery returns an Option compacting the engine's snapshot
+// every n incremental updates: the retained update history is collapsed
+// to its net effect and dead rule instances are dropped, bounding memory
+// under sustained assert/retract churn. 0 disables count-driven
+// compaction.
+func WithCompactEvery(n int) Option { return core.WithCompactEvery(n) }
+
+// WithCompactRatio returns an Option compacting the snapshot whenever the
+// dead-instance fraction of the grounded program reaches r in (0, 1].
+// 0 disables ratio-driven compaction.
+func WithCompactRatio(r float64) Option { return core.WithCompactRatio(r) }
+
 // Recover rebuilds a durable engine from a directory written by an engine
 // constructed with WithDurability: load the newest checkpoint consistent
 // with the log, replay the WAL suffix through the ordinary update path,
